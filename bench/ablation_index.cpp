@@ -1,0 +1,69 @@
+// Ablation (the refactoring §5 proposes): single-object snapshot indexes vs
+// node-granular skip-list indexes, under the TL2 word STM and under the
+// object-granular ASTM, on an index-heavy operation mix.
+//
+// Expected shape: with snapshot indexes every index update clones the whole
+// map and serializes writers on one transactional location; skip-list
+// indexes localize both the work and the conflicts. The gap widens with the
+// number of writer threads and is most dramatic under ASTM (whole-object
+// cloning) — this quantifies how much of Table 3's collapse is the naive
+// index representation.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+// Everything except the index-centric operations: OP1 (id index probes),
+// OP15 (indexed date updates), ST3 (index + bottom-up), SM1/SM2 (bulk index
+// insert/remove via part creation/deletion).
+std::set<std::string> AllBut(const std::set<std::string>& keep) {
+  sb7::OperationRegistry registry;
+  std::set<std::string> disabled;
+  for (const auto& op : registry.all()) {
+    if (keep.count(op->name()) == 0) {
+      disabled.insert(op->name());
+    }
+  }
+  return disabled;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sb7;
+  using namespace sb7::bench;
+  const BenchEnv env = ReadBenchEnv();
+  PrintHeader("Ablation: index representation (snapshot vs skiplist), index-heavy mix", env);
+
+  const std::set<std::string> disabled =
+      AllBut({"OP1", "OP2", "OP15", "ST3", "SM1", "SM2"});
+
+  std::printf("%8s %10s | %14s %14s | %14s %14s\n", "threads", "stm", "snapshot[op/s]",
+              "skiplist[op/s]", "snap-clonedMB", "skip-clonedMB");
+  for (const char* stm : {"tl2", "astm"}) {
+    for (int threads : env.threads) {
+      double throughput[2] = {};
+      double cloned_mb[2] = {};
+      int cell = 0;
+      for (IndexKind kind : {IndexKind::kSnapshot, IndexKind::kSkipList}) {
+        BenchConfig config;
+        config.strategy = stm;
+        config.index_kind = kind;
+        config.scale = env.scale;
+        config.threads = threads;
+        config.length_seconds = env.seconds;
+        config.workload = WorkloadType::kWriteDominated;
+        config.long_traversals = false;
+        config.disabled_ops = disabled;
+        config.seed = 4000 + threads;
+        const BenchResult result = RunCell(config);
+        throughput[cell] = result.SuccessThroughput();
+        cloned_mb[cell] = static_cast<double>(result.stm.bytes_cloned) / 1e6;
+        ++cell;
+      }
+      std::printf("%8d %10s | %14.0f %14.0f | %14.2f %14.2f\n", threads, stm, throughput[0],
+                  throughput[1], cloned_mb[0], cloned_mb[1]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: the three locking granularities (the paper ships coarse and
+// medium and names fine-grained as the "ultimate baseline" future work).
+//
+// Expected shape: fine-grained wins on workloads dominated by small-footprint
+// operations (its locks are narrow) but pays its planning/acquisition
+// overhead on scan-heavy mixes, where conservative whole-structure plans
+// degenerate to hundreds of stripe acquisitions per operation — the
+// engineering-cost-vs-scalability trade-off §4 predicts ("difficult to
+// justify"). Three mixes expose both regimes:
+//   full     — everything enabled (scan-heavy long traversals included)
+//   short    — long traversals disabled (the Figure 4 configuration)
+//   pinpoint — path/index operations only (fine-grained's best case)
+
+#include "bench/bench_util.h"
+
+namespace {
+
+std::set<std::string> PinpointDisabled() {
+  sb7::OperationRegistry registry;
+  const std::set<std::string> keep = {"ST1", "ST2", "ST3", "ST6", "ST7", "ST8",
+                                      "OP1", "OP6", "OP7", "OP8", "OP9",  "OP12",
+                                      "OP13", "OP14", "OP15"};
+  std::set<std::string> disabled;
+  for (const auto& op : registry.all()) {
+    if (keep.count(op->name()) == 0) {
+      disabled.insert(op->name());
+    }
+  }
+  return disabled;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sb7;
+  using namespace sb7::bench;
+  const BenchEnv env = ReadBenchEnv();
+  PrintHeader("Ablation: lock granularity (coarse / medium / fine), read-write workload", env);
+
+  struct Mix {
+    const char* label;
+    bool long_traversals;
+    std::set<std::string> disabled;
+  };
+  const Mix mixes[] = {
+      {"full", true, {}},
+      {"short", false, {}},
+      {"pinpoint", false, PinpointDisabled()},
+  };
+
+  std::printf("%10s %8s %12s %12s %12s\n", "mix", "threads", "coarse", "medium", "fine");
+  for (const Mix& mix : mixes) {
+    for (int threads : env.threads) {
+      std::printf("%10s %8d", mix.label, threads);
+      for (const char* strategy : {"coarse", "medium", "fine"}) {
+        BenchConfig config;
+        config.strategy = strategy;
+        config.scale = env.scale;
+        config.threads = threads;
+        config.length_seconds = env.seconds;
+        config.workload = WorkloadType::kReadWrite;
+        config.long_traversals = mix.long_traversals;
+        config.disabled_ops = mix.disabled;
+        config.seed = 6000 + threads;
+        const BenchResult result = RunCell(config);
+        std::printf(" %12.0f", result.SuccessThroughput());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Environment knobs (the defaults keep the full bench sweep laptop-friendly;
+// raise them to approach the paper's run lengths):
+//   SB7_BENCH_SECONDS  per-cell run time in seconds   (default 1.0)
+//   SB7_BENCH_SCALE    tiny | small | medium          (default small)
+//   SB7_BENCH_THREADS  space-separated sweep          (default "1 2 4 8")
+
+#ifndef STMBENCH7_BENCH_BENCH_UTIL_H_
+#define STMBENCH7_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/invariants.h"
+#include "src/harness/driver.h"
+
+namespace sb7::bench {
+
+struct BenchEnv {
+  double seconds = 1.0;
+  std::string scale = "small";
+  std::vector<int> threads = {1, 2, 4, 8};
+};
+
+inline BenchEnv ReadBenchEnv() {
+  BenchEnv env;
+  if (const char* raw = std::getenv("SB7_BENCH_SECONDS")) {
+    env.seconds = std::atof(raw);
+    if (env.seconds <= 0) {
+      env.seconds = 1.0;
+    }
+  }
+  if (const char* raw = std::getenv("SB7_BENCH_SCALE")) {
+    env.scale = raw;
+  }
+  if (const char* raw = std::getenv("SB7_BENCH_THREADS")) {
+    env.threads.clear();
+    std::istringstream in(raw);
+    int value = 0;
+    while (in >> value) {
+      if (value >= 1) {
+        env.threads.push_back(value);
+      }
+    }
+    if (env.threads.empty()) {
+      env.threads = {1, 2, 4, 8};
+    }
+  }
+  return env;
+}
+
+// Runs one benchmark cell and sanity-checks the structure afterwards (a
+// bench on a broken strategy must fail loudly, not print garbage numbers).
+inline BenchResult RunCell(const BenchConfig& config, BenchmarkRunner** runner_out = nullptr) {
+  static BenchmarkRunner* leaked = nullptr;  // keep the last runner alive for callers
+  delete leaked;
+  leaked = new BenchmarkRunner(config);
+  const BenchResult result = leaked->Run();
+  const InvariantReport report = CheckInvariants(leaked->data());
+  if (!report.ok()) {
+    std::fprintf(stderr, "INVARIANT VIOLATION under %s: %s\n", config.strategy.c_str(),
+                 report.violations[0].c_str());
+    std::exit(1);
+  }
+  if (runner_out != nullptr) {
+    *runner_out = leaked;
+  }
+  return result;
+}
+
+// Max successful latency (ms) of the operation named `name`, or -1 when the
+// operation never completed in the cell.
+inline double MaxLatencyOf(const BenchResult& result, const OperationRegistry& registry,
+                           const std::string& name) {
+  const auto& ops = registry.all();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i]->name() == name) {
+      return result.per_op[i].success > 0 ? result.MaxLatencyMillis(i) : -1.0;
+    }
+  }
+  return -1.0;
+}
+
+inline void PrintHeader(const std::string& title, const BenchEnv& env) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("scale=%s  cell=%.2fs  (single-host reproduction; see EXPERIMENTS.md)\n",
+              env.scale.c_str(), env.seconds);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace sb7::bench
+
+#endif  // STMBENCH7_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,49 @@
+// Figure 3 reproduction: maximum latency of long traversals under the two
+// locking strategies, all operations enabled.
+//
+// Paper series: R/T1 (read-dominated workload, read-only traversal T1) and
+// W/T2b (write-dominated workload, update traversal T2b), each under coarse-
+// and medium-grained locking, versus thread count.
+//
+// Expected shape (paper): medium-grained latency >= coarse-grained latency
+// for the long traversals (medium queues on 9 locks instead of 1), both
+// growing with thread count.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace sb7;
+  using namespace sb7::bench;
+  const BenchEnv env = ReadBenchEnv();
+  PrintHeader("Figure 3: max latency [ms] of T1 (read-dom.) / T2b (write-dom.), all ops enabled",
+              env);
+
+  std::printf("%8s %14s %14s %14s %14s\n", "threads", "R/T1-coarse", "R/T1-medium",
+              "W/T2b-coarse", "W/T2b-medium");
+  for (int threads : env.threads) {
+    double cells[4] = {};
+    int cell = 0;
+    for (const char* traversal : {"T1", "T2b"}) {
+      const bool read_dominated = std::string(traversal) == "T1";
+      for (const char* strategy : {"coarse", "medium"}) {
+        BenchConfig config;
+        config.strategy = strategy;
+        config.scale = env.scale;
+        config.threads = threads;
+        config.length_seconds = env.seconds;
+        config.workload =
+            read_dominated ? WorkloadType::kReadDominated : WorkloadType::kWriteDominated;
+        config.seed = 42 + threads;
+
+        BenchmarkRunner* runner = nullptr;
+        const BenchResult result = RunCell(config, &runner);
+        cells[cell++] = MaxLatencyOf(result, runner->registry(), traversal);
+      }
+    }
+    std::printf("%8d %14.2f %14.2f %14.2f %14.2f\n", threads, cells[0], cells[1], cells[2],
+                cells[3]);
+  }
+  std::printf("\n(-1 means the traversal was never sampled in the cell; raise"
+              " SB7_BENCH_SECONDS)\n");
+  return 0;
+}

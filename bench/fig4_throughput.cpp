@@ -1,0 +1,40 @@
+// Figure 4 reproduction: total throughput of the two locking strategies for
+// the three workload types, long traversals disabled.
+//
+// Expected shape (paper): on multi-core hosts medium-grained locking beats
+// coarse-grained from 2 threads up, with the gap shrinking as the workload
+// becomes write-dominated (most writers collide on the same locks). On a
+// single-core host the curves flatten; the medium-vs-coarse ordering at
+// equal thread counts and the R > RW > W workload ordering remain.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace sb7;
+  using namespace sb7::bench;
+  const BenchEnv env = ReadBenchEnv();
+  PrintHeader("Figure 4: total throughput [op/s], long traversals disabled", env);
+
+  std::printf("%8s %12s %12s %12s %12s %12s %12s\n", "threads", "R-coarse", "R-medium",
+              "RW-coarse", "RW-medium", "W-coarse", "W-medium");
+  for (int threads : env.threads) {
+    std::printf("%8d", threads);
+    for (WorkloadType workload : {WorkloadType::kReadDominated, WorkloadType::kReadWrite,
+                                  WorkloadType::kWriteDominated}) {
+      for (const char* strategy : {"coarse", "medium"}) {
+        BenchConfig config;
+        config.strategy = strategy;
+        config.scale = env.scale;
+        config.threads = threads;
+        config.length_seconds = env.seconds;
+        config.workload = workload;
+        config.long_traversals = false;
+        config.seed = 1000 + threads;
+        const BenchResult result = RunCell(config);
+        std::printf(" %12.0f", result.SuccessThroughput());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 6 reproduction: ASTM vs coarse- and medium-grained locking with all
+// "long" operations disabled (the paper's synthetic-benchmark-like subset:
+// no long traversals, no large read sets, no manual or large-index writers —
+// see Figure6DisabledOps in src/harness/workload.cc for the exact list).
+//
+// Expected shape (paper): once the pathological operations are removed, the
+// ASTM port becomes competitive — for the read-dominated workload it scales
+// like medium-grained locking and overtakes coarse-grained locking when
+// enough parallelism is available; under write-heavy loads it trails and
+// behaves less stably. The word STMs (TL2, TinySTM) are included as extra
+// series: they are the "do the refactoring" counterfactual.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace sb7;
+  using namespace sb7::bench;
+  const BenchEnv env = ReadBenchEnv();
+  PrintHeader("Figure 6: throughput [op/s], short-only operation subset", env);
+
+  const char* strategies[] = {"coarse", "medium", "astm", "tl2", "tinystm", "norec"};
+  for (WorkloadType workload : {WorkloadType::kReadDominated, WorkloadType::kReadWrite,
+                                WorkloadType::kWriteDominated}) {
+    std::printf("\n--- %s workload ---\n", std::string(WorkloadTypeName(workload)).c_str());
+    std::printf("%8s", "threads");
+    for (const char* strategy : strategies) {
+      std::printf(" %10s", strategy);
+    }
+    std::printf("\n");
+    for (int threads : env.threads) {
+      std::printf("%8d", threads);
+      for (const char* strategy : strategies) {
+        BenchConfig config;
+        config.strategy = strategy;
+        config.scale = env.scale;
+        config.threads = threads;
+        config.length_seconds = env.seconds;
+        config.workload = workload;
+        config.long_traversals = false;
+        config.disabled_ops = Figure6DisabledOps();
+        config.seed = 3000 + threads;
+        const BenchResult result = RunCell(config);
+        std::printf(" %10.0f", result.SuccessThroughput());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

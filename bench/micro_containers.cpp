@@ -1,0 +1,146 @@
+// Micro-benchmarks for the transactional containers and the three index
+// implementations, in direct (lock) mode and inside TL2 transactions.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/containers/skiplist_index.h"
+#include "src/containers/snapshot_index.h"
+#include "src/containers/std_map_index.h"
+#include "src/containers/txvector.h"
+#include "src/stm/stm_factory.h"
+
+namespace sb7 {
+namespace {
+
+std::unique_ptr<Index<int64_t, int64_t*>> MakeIndexByArg(int kind) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<StdMapIndex<int64_t, int64_t*>>();
+    case 1:
+      return std::make_unique<SnapshotIndex<int64_t, int64_t*>>();
+    default:
+      return std::make_unique<SkipListIndex<int64_t, int64_t*>>();
+  }
+}
+
+const char* IndexName(int kind) {
+  switch (kind) {
+    case 0:
+      return "stdmap";
+    case 1:
+      return "snapshot";
+    default:
+      return "skiplist";
+  }
+}
+
+void BM_TxVectorPushBack(benchmark::State& state) {
+  for (auto _ : state) {
+    TxVector<int64_t> vec;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      vec.PushBack(i);
+    }
+    benchmark::DoNotOptimize(vec.Size());
+  }
+  EbrDomain::Global().DrainAll();
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TxVectorPushBack)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_TxVectorScan(benchmark::State& state) {
+  TxVector<int64_t> vec;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    vec.PushBack(i);
+  }
+  int64_t sink = 0;
+  for (auto _ : state) {
+    vec.ForEach([&sink](int64_t value) { sink += value; });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TxVectorScan)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+// Direct-mode index lookup at 10k entries.
+void BM_IndexLookup(benchmark::State& state) {
+  auto index = MakeIndexByArg(static_cast<int>(state.range(0)));
+  static int64_t value = 0;
+  for (int64_t key = 0; key < 10'000; ++key) {
+    index->Insert(key, &value);
+  }
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Lookup(key));
+    key = (key + 7919) % 10'000;
+  }
+  state.SetLabel(IndexName(static_cast<int>(state.range(0))));
+  EbrDomain::Global().DrainAll();
+}
+BENCHMARK(BM_IndexLookup)->Arg(0)->Arg(1)->Arg(2);
+
+// Direct-mode index update at 10k entries: the snapshot index pays a full
+// clone per update — this is the cost Table 3 is made of.
+void BM_IndexUpdate(benchmark::State& state) {
+  auto index = MakeIndexByArg(static_cast<int>(state.range(0)));
+  static int64_t value = 0;
+  for (int64_t key = 0; key < 10'000; ++key) {
+    index->Insert(key, &value);
+  }
+  int64_t key = 0;
+  for (auto _ : state) {
+    index->Remove(key);
+    index->Insert(key, &value);
+    key = (key + 7919) % 10'000;
+  }
+  state.SetLabel(IndexName(static_cast<int>(state.range(0))));
+  EbrDomain::Global().DrainAll();
+}
+BENCHMARK(BM_IndexUpdate)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+// The same probe inside TL2 transactions (stdmap excluded: not tx-safe).
+void BM_IndexUpdateUnderTl2(benchmark::State& state) {
+  auto index = MakeIndexByArg(static_cast<int>(state.range(0)));
+  auto stm = MakeStm("tl2");
+  static int64_t value = 0;
+  for (int64_t key = 0; key < 10'000; ++key) {
+    index->Insert(key, &value);
+  }
+  int64_t key = 0;
+  for (auto _ : state) {
+    stm->RunAtomically([&](Transaction&) {
+      index->Remove(key);
+      index->Insert(key, &value);
+    });
+    key = (key + 7919) % 10'000;
+    EbrDomain::Global().Quiesce();
+  }
+  state.SetLabel(IndexName(static_cast<int>(state.range(0))));
+  EbrDomain::Global().DrainAll();
+}
+BENCHMARK(BM_IndexUpdateUnderTl2)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_IndexRangeScan(benchmark::State& state) {
+  auto index = MakeIndexByArg(static_cast<int>(state.range(0)));
+  static int64_t value = 0;
+  for (int64_t key = 0; key < 10'000; ++key) {
+    index->Insert(key, &value);
+  }
+  int64_t sink = 0;
+  for (auto _ : state) {
+    index->Range(2'000, 3'000, [&sink](const int64_t& k, int64_t* const&) {
+      sink += k;
+      return true;
+    });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetLabel(IndexName(static_cast<int>(state.range(0))));
+  EbrDomain::Global().DrainAll();
+}
+BENCHMARK(BM_IndexRangeScan)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sb7
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// "Crash test" (§6: STMBench7 "can be viewed as a crash test for software
+// transactional memory"): run the operations the paper identifies as
+// pathological — long traversals, manual writers, large-index writers —
+// one at a time under every strategy, and print where each STM's time goes
+// (validation steps for invisible reads, bytes cloned for object-granular
+// logging).
+//
+// This is the diagnostic view behind Table 3: it shows *why* the naive STM
+// port collapses, not just that it does.
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/timing.h"
+#include "src/core/invariants.h"
+#include "src/ops/operation.h"
+#include "src/strategy/strategy.h"
+
+int main(int argc, char** argv) {
+  using namespace sb7;
+  const std::string scale = argc > 1 ? argv[1] : "small";
+
+  OperationRegistry registry;
+  const char* pathological[] = {"T1",  "T2b",  "Q6",  "Q7",  "ST5",
+                                "OP3", "OP11", "OP15", "SM1", "SM2"};
+  const char* strategies[] = {"coarse", "medium", "fine", "tl2", "tinystm", "astm"};
+
+  std::printf("crash test at scale '%s' — per-operation single-shot latency [ms]\n\n", scale.c_str());
+  std::printf("%-6s", "op");
+  for (const char* strategy : strategies) {
+    std::printf(" %12s", strategy);
+  }
+  std::printf(" %16s %14s\n", "astm-validation", "astm-clonedKB");
+
+  for (const char* op_name : pathological) {
+    const Operation* op = registry.Find(op_name);
+    std::printf("%-6s", op_name);
+    int64_t astm_validation = 0;
+    int64_t astm_cloned = 0;
+    for (const char* strategy_name : strategies) {
+      DataHolder::Setup setup;
+      setup.params = Parameters::ForName(scale);
+      setup.index_kind = DefaultIndexKindFor(strategy_name);
+      setup.seed = 11;
+      DataHolder dh(setup);
+      auto strategy = MakeStrategy(strategy_name);
+      Rng rng(13);
+
+      // Retry failed random picks so every cell reports a real execution.
+      double ms = -1;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const Stopwatch watch;
+        try {
+          strategy->Execute(*op, dh, rng);
+          ms = watch.ElapsedMillis();
+          break;
+        } catch (const OperationFailed&) {
+          continue;
+        }
+      }
+      std::printf(" %12.3f", ms);
+      if (std::string(strategy_name) == "astm") {
+        astm_validation = strategy->stm()->stats().validation_steps.load();
+        astm_cloned = strategy->stm()->stats().bytes_cloned.load();
+      }
+      if (!CheckInvariants(dh).ok()) {
+        std::fprintf(stderr, "\ninvariants broken after %s under %s\n", op_name, strategy_name);
+        return 1;
+      }
+    }
+    std::printf(" %16lld %14lld\n", static_cast<long long>(astm_validation),
+                static_cast<long long>(astm_cloned / 1024));
+  }
+  std::printf("\nReading the table: the lock columns stay flat; the ASTM column explodes on\n"
+              "operations with large read sets (validation column ~ k^2/2), big text payloads\n"
+              "(cloned column: the manual for OP11, document bodies for T2b-adjacent writes),\n"
+              "and single-object index writers (OP15/SM1/SM2 pay a full std::map clone per\n"
+              "update — that cost shows up in the time column, not the cloned counter).\n");
+  EbrDomain::Global().DrainAll();
+  return 0;
+}

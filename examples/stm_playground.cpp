@@ -1,0 +1,135 @@
+// STM playground: using the STM substrates standalone, outside the
+// benchmark — the "bring your own data structure" path.
+//
+// Builds a small transactional order book (accounts + an order index) from
+// TxField, TxVector and SkipListIndex, then runs the same concurrent
+// workload under TL2, TinySTM and ASTM (with two contention managers),
+// printing throughput, abort rates and the invariant check (money
+// conservation) for each.
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/timing.h"
+#include "src/containers/skiplist_index.h"
+#include "src/containers/txvector.h"
+#include "src/stm/astm.h"
+#include "src/stm/stm_factory.h"
+
+namespace {
+
+using namespace sb7;
+
+class Account : public TmObject {
+ public:
+  explicit Account(int64_t initial) : balance(unit(), initial) {}
+  TxField<int64_t> balance;
+};
+
+struct Market {
+  static constexpr int kAccounts = 32;
+  static constexpr int64_t kInitialBalance = 10'000;
+
+  Market() {
+    for (int i = 0; i < kAccounts; ++i) {
+      accounts.push_back(std::make_unique<Account>(kInitialBalance));
+    }
+  }
+
+  int64_t TotalMoney() const {
+    int64_t total = 0;
+    for (const auto& account : accounts) {
+      total += account->balance.Get();
+    }
+    return total;
+  }
+
+  std::vector<std::unique_ptr<Account>> accounts;
+  SkipListIndex<int64_t, Account*> order_index;
+};
+
+struct RunStats {
+  double throughput = 0;
+  int64_t commits = 0;
+  int64_t aborts = 0;
+  int64_t kills = 0;
+  bool conserved = false;
+};
+
+RunStats RunMarket(Stm& stm, int threads, double seconds) {
+  Market market;
+  std::vector<std::thread> workers;
+  std::atomic<int64_t> operations{0};
+  const int64_t deadline = NowNanos() + static_cast<int64_t>(seconds * 1e9);
+
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(t + 1);
+      int64_t local_ops = 0;
+      while (NowNanos() < deadline) {
+        const int from = static_cast<int>(rng.NextBounded(Market::kAccounts));
+        const int to = static_cast<int>(rng.NextBounded(Market::kAccounts));
+        const int64_t amount = rng.NextInRange(1, 100);
+        const int64_t order_id = rng.NextInRange(0, 499);
+        stm.RunAtomically([&](Transaction&) {
+          // A transfer plus an index update in one atomic step.
+          Account* payer = market.accounts[from].get();
+          Account* payee = market.accounts[to].get();
+          payer->balance.Set(payer->balance.Get() - amount);
+          payee->balance.Set(payee->balance.Get() + amount);
+          market.order_index.Insert(order_id, payee);
+        });
+        ++local_ops;
+        EbrDomain::Global().Quiesce();
+      }
+      operations.fetch_add(local_ops);
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  RunStats stats;
+  stats.throughput = static_cast<double>(operations.load()) / seconds;
+  stats.commits = stm.stats().commits.load();
+  stats.aborts = stm.stats().aborts.load();
+  stats.kills = stm.stats().kills.load();
+  stats.conserved = market.TotalMoney() == Market::kAccounts * Market::kInitialBalance;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  std::printf("transactional order book: %d threads, %.1fs per STM\n\n", threads, seconds);
+  std::printf("%-18s %12s %10s %10s %8s %10s\n", "stm", "ops/s", "commits", "aborts", "kills",
+              "conserved");
+
+  struct Flavour {
+    const char* label;
+    std::unique_ptr<Stm> stm;
+  };
+  std::vector<Flavour> flavours;
+  flavours.push_back({"tl2", MakeStm("tl2")});
+  flavours.push_back({"tinystm", MakeStm("tinystm")});
+  flavours.push_back({"norec", MakeStm("norec")});
+  flavours.push_back({"astm(polka)", MakeStm("astm", "polka")});
+  flavours.push_back({"astm(aggressive)", MakeStm("astm", "aggressive")});
+  flavours.push_back({"astm(timid)", MakeStm("astm", "timid")});
+
+  bool all_conserved = true;
+  for (Flavour& flavour : flavours) {
+    const RunStats stats = RunMarket(*flavour.stm, threads, seconds);
+    all_conserved = all_conserved && stats.conserved;
+    std::printf("%-18s %12.0f %10lld %10lld %8lld %10s\n", flavour.label, stats.throughput,
+                static_cast<long long>(stats.commits), static_cast<long long>(stats.aborts),
+                static_cast<long long>(stats.kills), stats.conserved ? "yes" : "NO");
+  }
+  EbrDomain::Global().DrainAll();
+  return all_conserved ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Diagnostic macros used across the STMBench7 reproduction.
+//
+// SB7_CHECK is always on and aborts with a message on violation; it guards
+// conditions whose failure means the process state is unusable (broken
+// invariants in the shared structure, protocol violations in the STMs).
+// SB7_DCHECK compiles away in release builds and is used on hot paths.
+
+#ifndef STMBENCH7_SRC_COMMON_DIAG_H_
+#define STMBENCH7_SRC_COMMON_DIAG_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sb7 {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "SB7_CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace sb7
+
+#define SB7_CHECK(cond)                           \
+  do {                                            \
+    if (!(cond)) {                                \
+      ::sb7::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                             \
+  } while (0)
+
+#ifndef NDEBUG
+#define SB7_DCHECK(cond) SB7_CHECK(cond)
+#else
+#define SB7_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // STMBENCH7_SRC_COMMON_DIAG_H_

@@ -1,0 +1,96 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/diag.h"
+
+namespace sb7 {
+
+TtcHistogram::TtcHistogram(int linear_buckets)
+    : linear_buckets_(linear_buckets), counts_(linear_buckets + kOverflowBuckets, 0) {
+  SB7_CHECK(linear_buckets > 0);
+}
+
+int TtcHistogram::BucketFor(int64_t nanos) const {
+  const int64_t ms = nanos / 1'000'000;
+  if (ms < linear_buckets_) {
+    return static_cast<int>(ms);
+  }
+  // Geometric range: find k with linear * 2^k <= ms < linear * 2^(k+1).
+  int k = 0;
+  int64_t bound = static_cast<int64_t>(linear_buckets_) * 2;
+  while (k + 1 < kOverflowBuckets && ms >= bound) {
+    bound *= 2;
+    ++k;
+  }
+  return linear_buckets_ + k;
+}
+
+int64_t TtcHistogram::BucketLowerMillis(int i) const {
+  if (i < linear_buckets_) {
+    return i;
+  }
+  return static_cast<int64_t>(linear_buckets_) << (i - linear_buckets_);
+}
+
+void TtcHistogram::Record(int64_t nanos) {
+  if (nanos < 0) {
+    nanos = 0;
+  }
+  counts_[BucketFor(nanos)] += 1;
+  total_count_ += 1;
+  sum_nanos_ += nanos;
+  max_nanos_ = std::max(max_nanos_, nanos);
+}
+
+void TtcHistogram::Merge(const TtcHistogram& other) {
+  SB7_CHECK(linear_buckets_ == other.linear_buckets_);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_count_ += other.total_count_;
+  sum_nanos_ += other.sum_nanos_;
+  max_nanos_ = std::max(max_nanos_, other.max_nanos_);
+}
+
+double TtcHistogram::MeanMillis() const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_nanos_) / 1e6 / static_cast<double>(total_count_);
+}
+
+double TtcHistogram::QuantileMillis(double q) const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<int64_t>(std::ceil(q * static_cast<double>(total_count_)));
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return static_cast<double>(BucketLowerMillis(static_cast<int>(i)));
+    }
+  }
+  return static_cast<double>(BucketLowerMillis(static_cast<int>(counts_.size()) - 1));
+}
+
+std::string TtcHistogram::Format() const {
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += std::to_string(BucketLowerMillis(static_cast<int>(i)));
+    out += ',';
+    out += std::to_string(counts_[i]);
+  }
+  return out;
+}
+
+}  // namespace sb7

@@ -1,0 +1,59 @@
+// Latency (time-to-completion, "TTC") histogram.
+//
+// The paper's Appendix A specifies per-operation TTC histograms printed as
+// "ttc, count" pairs with 1-millisecond buckets. Latencies beyond the linear
+// range fall into geometrically growing overflow buckets so that long
+// traversals (seconds to minutes under the ASTM port) are still recorded
+// without unbounded memory.
+
+#ifndef STMBENCH7_SRC_COMMON_HISTOGRAM_H_
+#define STMBENCH7_SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sb7 {
+
+class TtcHistogram {
+ public:
+  // Linear 1 ms buckets in [0, linear_buckets); geometric buckets after that.
+  explicit TtcHistogram(int linear_buckets = 1000);
+
+  void Record(int64_t nanos);
+
+  // Merges `other` into this histogram (used to combine per-thread data).
+  void Merge(const TtcHistogram& other);
+
+  int64_t total_count() const { return total_count_; }
+  int64_t max_nanos() const { return max_nanos_; }
+  int64_t sum_nanos() const { return sum_nanos_; }
+  double MeanMillis() const;
+
+  // Approximate quantile (q in [0,1]) in milliseconds, computed from bucket
+  // boundaries; exact for the linear range.
+  double QuantileMillis(double q) const;
+
+  // Appendix-A format: space-delimited "ttc, count" pairs for all non-empty
+  // buckets, where ttc is the bucket's lower bound in milliseconds.
+  std::string Format() const;
+
+ private:
+  // Buckets: [0..linear) are 1 ms wide; bucket linear+k covers
+  // [linear * 2^k, linear * 2^(k+1)) ms, for k in [0, kOverflowBuckets).
+  static constexpr int kOverflowBuckets = 24;
+
+  int BucketFor(int64_t nanos) const;
+  // Lower bound of bucket `i`, in milliseconds.
+  int64_t BucketLowerMillis(int i) const;
+
+  int linear_buckets_;
+  std::vector<int64_t> counts_;
+  int64_t total_count_ = 0;
+  int64_t max_nanos_ = 0;
+  int64_t sum_nanos_ = 0;
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// The benchmark derives every random choice (operation selection, random IDs,
+// random paths through the structure, generated text) from per-thread Rng
+// instances seeded from a single benchmark seed. Equal seeds therefore yield
+// bit-identical single-threaded runs, which the cross-backend equivalence
+// tests rely on.
+//
+// The generator is xoshiro256++ (Blackman & Vigna), seeded through SplitMix64
+// so that low-entropy seeds (0, 1, 2, ...) still produce well-mixed states.
+
+#ifndef STMBENCH7_SRC_COMMON_RNG_H_
+#define STMBENCH7_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace sb7 {
+
+// SplitMix64 step; used for seeding and as a cheap standalone mixer.
+uint64_t SplitMix64Next(uint64_t& state);
+
+class Rng {
+ public:
+  // Seeds the four-word xoshiro256++ state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x5b7b3d2f9e1cull);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound == 0 is invalid. Uses Lemire's unbiased
+  // multiply-shift rejection method.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in the closed range [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Creates an independent stream: applies xoshiro's jump() polynomial to a
+  // copy of this generator. Used to hand each worker thread its own stream.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_COMMON_RNG_H_

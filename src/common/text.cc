@@ -1,0 +1,85 @@
+#include "src/common/text.h"
+
+#include "src/common/diag.h"
+
+namespace sb7 {
+
+int64_t CountChar(std::string_view text, char c) {
+  int64_t n = 0;
+  for (char ch : text) {
+    if (ch == c) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int64_t CountOccurrences(std::string_view text, std::string_view sub) {
+  SB7_DCHECK(!sub.empty());
+  int64_t n = 0;
+  size_t pos = 0;
+  while ((pos = text.find(sub, pos)) != std::string_view::npos) {
+    ++n;
+    pos += sub.size();
+  }
+  return n;
+}
+
+std::pair<std::string, int64_t> ReplaceAll(std::string_view text, std::string_view from,
+                                           std::string_view to) {
+  SB7_DCHECK(!from.empty());
+  std::string out;
+  out.reserve(text.size());
+  int64_t n = 0;
+  size_t pos = 0;
+  while (true) {
+    const size_t hit = text.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(text.substr(pos));
+      break;
+    }
+    out.append(text.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+    ++n;
+  }
+  return {std::move(out), n};
+}
+
+std::pair<std::string, int64_t> ReplaceChar(std::string_view text, char from, char to) {
+  std::string out(text);
+  int64_t n = 0;
+  for (char& c : out) {
+    if (c == from) {
+      c = to;
+      ++n;
+    }
+  }
+  return {std::move(out), n};
+}
+
+namespace {
+
+std::string RepeatToSize(const std::string& sentence, int size) {
+  std::string out;
+  out.reserve(static_cast<size_t>(size) + sentence.size());
+  while (out.size() < static_cast<size_t>(size)) {
+    out += sentence;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string BuildDocumentText(int64_t part_id, int size) {
+  const std::string sentence =
+      "I am the documentation for composite part #" + std::to_string(part_id) + ". ";
+  return RepeatToSize(sentence, size);
+}
+
+std::string BuildManualText(int64_t module_id, int size) {
+  const std::string sentence = "I am the manual for module #" + std::to_string(module_id) + ". ";
+  return RepeatToSize(sentence, size);
+}
+
+}  // namespace sb7

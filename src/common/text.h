@@ -1,0 +1,43 @@
+// Text generation and manipulation helpers for documents and the manual.
+//
+// The OO7/STMBench7 text operations (T4, T5, ST2, ST7, OP4, OP5, OP11) count
+// and substitute characters and phrases inside document/manual bodies. The
+// generators below mirror the original benchmark's texts: bodies built by
+// repeating an "I am the ..." sentence up to the configured size, so the
+// phrase-swap operations always have material to work on.
+
+#ifndef STMBENCH7_SRC_COMMON_TEXT_H_
+#define STMBENCH7_SRC_COMMON_TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sb7 {
+
+// Number of occurrences of `c` in `text`.
+int64_t CountChar(std::string_view text, char c);
+
+// Number of non-overlapping occurrences of `sub` in `text`.
+int64_t CountOccurrences(std::string_view text, std::string_view sub);
+
+// Replaces every non-overlapping occurrence of `from` with `to`; returns the
+// new text and the number of replacements made.
+std::pair<std::string, int64_t> ReplaceAll(std::string_view text, std::string_view from,
+                                           std::string_view to);
+
+// Replaces every occurrence of character `from` with `to`; returns the new
+// text and the number of replacements.
+std::pair<std::string, int64_t> ReplaceChar(std::string_view text, char from, char to);
+
+// Document body for composite part `part_id`, at least `size` characters
+// (rounded up to whole sentences).
+std::string BuildDocumentText(int64_t part_id, int size);
+
+// Manual body for module `module_id`, at least `size` characters.
+std::string BuildManualText(int64_t module_id, int size);
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_COMMON_TEXT_H_

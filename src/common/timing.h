@@ -1,0 +1,39 @@
+// Monotonic-clock helpers shared by the harness and the benches.
+
+#ifndef STMBENCH7_SRC_COMMON_TIMING_H_
+#define STMBENCH7_SRC_COMMON_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sb7 {
+
+// Nanoseconds on the steady clock; only differences are meaningful.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline double NanosToMillis(int64_t nanos) { return static_cast<double>(nanos) / 1e6; }
+
+inline double NanosToSeconds(int64_t nanos) { return static_cast<double>(nanos) / 1e9; }
+
+// Scoped stopwatch: measures the lifetime of the object in nanoseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedMillis() const { return NanosToMillis(ElapsedNanos()); }
+  double ElapsedSeconds() const { return NanosToSeconds(ElapsedNanos()); }
+
+  void Restart() { start_ = NowNanos(); }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_COMMON_TIMING_H_

@@ -1,0 +1,58 @@
+// std::map-backed index for the locking strategies.
+//
+// No internal synchronization: callers rely on the coarse- or medium-grained
+// locks (under which index access is always covered by the appropriate lock,
+// see strategy/). Not safe under any STM strategy — the harness never wires
+// this implementation into an STM run.
+
+#ifndef STMBENCH7_SRC_CONTAINERS_STD_MAP_INDEX_H_
+#define STMBENCH7_SRC_CONTAINERS_STD_MAP_INDEX_H_
+
+#include <map>
+
+#include "src/containers/index.h"
+
+namespace sb7 {
+
+template <typename K, typename V>
+class StdMapIndex : public Index<K, V> {
+ public:
+  V Lookup(const K& key) const override {
+    auto it = map_.find(key);
+    return it == map_.end() ? V{} : it->second;
+  }
+
+  bool Insert(const K& key, V value) override {
+    auto [it, inserted] = map_.insert_or_assign(key, std::move(value));
+    (void)it;
+    return inserted;
+  }
+
+  bool Remove(const K& key) override { return map_.erase(key) > 0; }
+
+  void Range(const K& lo, const K& hi,
+             const std::function<bool(const K&, const V&)>& fn) const override {
+    for (auto it = map_.lower_bound(lo); it != map_.end() && !(hi < it->first); ++it) {
+      if (!fn(it->first, it->second)) {
+        return;
+      }
+    }
+  }
+
+  void ForEach(const std::function<bool(const K&, const V&)>& fn) const override {
+    for (const auto& [key, value] : map_) {
+      if (!fn(key, value)) {
+        return;
+      }
+    }
+  }
+
+  int64_t Size() const override { return static_cast<int64_t>(map_.size()); }
+
+ private:
+  std::map<K, V> map_;
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_CONTAINERS_STD_MAP_INDEX_H_

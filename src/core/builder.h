@@ -1,0 +1,59 @@
+// Construction and destruction of structure elements.
+//
+// Shared between the initial build (DataHolder constructor) and the
+// structure-modification operations SM1–SM8, so created elements always have
+// the same shape. All functions perform their shared-memory effects through
+// TxFields/Tx collections and are therefore correct under any strategy; the
+// memory of deleted elements is retired through EBR at commit time (or
+// immediately under the locking strategies, which hold the structure lock
+// exclusively during modifications).
+//
+// Creation functions assume the caller verified pool availability (the Can*
+// helpers); this keeps operations all-or-nothing even in lock mode, where
+// there is no transactional rollback.
+
+#ifndef STMBENCH7_SRC_CORE_BUILDER_H_
+#define STMBENCH7_SRC_CORE_BUILDER_H_
+
+#include "src/core/data_holder.h"
+
+namespace sb7 {
+
+// Uniform build date in [params.min_build_date, params.max_build_date].
+Date RandomDate(const Parameters& params, Rng& rng);
+
+// --- composite parts (with document + atomic part graph) ---
+bool CanCreateCompositePart(DataHolder& dh);
+CompositePart* CreateCompositePart(DataHolder& dh, Rng& rng);
+// Unlinks the part from every base assembly using it, unregisters it (and
+// its atomic parts and document) from all indexes, releases ids and retires
+// the memory.
+void DeleteCompositePart(DataHolder& dh, CompositePart* part);
+
+// --- base assemblies ---
+bool CanCreateBaseAssembly(DataHolder& dh);
+BaseAssembly* CreateBaseAssembly(DataHolder& dh, ComplexAssembly* parent, Rng& rng);
+// Caller enforces the "not the only child" precondition (SM6).
+void DeleteBaseAssembly(DataHolder& dh, BaseAssembly* assembly);
+
+// --- complex assemblies / subtrees ---
+// Number of assemblies (complex, base) in a full subtree whose root sits at
+// `root_level` (root included), with the configured fan-out.
+std::pair<int64_t, int64_t> SubtreeNodeCounts(const Parameters& params, int root_level);
+bool CanCreateSubtree(DataHolder& dh, int root_level);
+// Builds a full assembly subtree of the configured fan-out with its root at
+// `root_level`, attached under `parent` (SM7). Base assemblies are created
+// with empty component bags — ST1/ST2's designed failure path.
+Assembly* CreateAssemblySubtree(DataHolder& dh, ComplexAssembly* parent, int root_level,
+                                Rng& rng);
+// Deletes `assembly` and every descendant, unlinking it from its parent
+// (SM8). Caller enforces the root/only-child preconditions.
+void DeleteAssemblySubtree(DataHolder& dh, ComplexAssembly* assembly);
+
+// Retires a dead composite part's full object graph through EBR now (lock
+// mode) or at commit (STM mode). Exposed for DataHolder's destructor.
+void RetireCompositePartDeep(CompositePart* part);
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_CORE_BUILDER_H_

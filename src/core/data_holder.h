@@ -1,0 +1,101 @@
+// DataHolder: the benchmark's shared world.
+//
+// Owns the module, the six indexes of Table 1, and the ID pools. The index
+// implementation is selected at construction:
+//   * kStdMap   — plain std::map, for the locking strategies (the
+//                 java.util analogue);
+//   * kSnapshot — one transactional object per index (the naive STM port the
+//                 paper's §5 evaluation uses);
+//   * kSkipList — node-granular transactional skip list (the refactored,
+//                 scalable port §5 proposes).
+
+#ifndef STMBENCH7_SRC_CORE_DATA_HOLDER_H_
+#define STMBENCH7_SRC_CORE_DATA_HOLDER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/containers/index.h"
+#include "src/core/id_pool.h"
+#include "src/core/objects.h"
+#include "src/core/parameters.h"
+
+namespace sb7 {
+
+enum class IndexKind { kStdMap, kSnapshot, kSkipList };
+
+// "stdmap" | "snapshot" | "skiplist".
+IndexKind IndexKindForName(std::string_view name);
+std::string_view IndexKindName(IndexKind kind);
+
+class DataHolder {
+ public:
+  struct Setup {
+    Parameters params;
+    IndexKind index_kind = IndexKind::kStdMap;
+    uint64_t seed = 7;
+  };
+
+  // Builds the complete initial structure; deterministic in `setup.seed`.
+  explicit DataHolder(const Setup& setup);
+  ~DataHolder();
+
+  DataHolder(const DataHolder&) = delete;
+  DataHolder& operator=(const DataHolder&) = delete;
+
+  const Parameters& params() const { return setup_.params; }
+  const Setup& setup() const { return setup_; }
+
+  Module* module() { return module_; }
+  Manual* manual() { return manual_; }
+
+  // --- Table 1 indexes ---
+  Index<int64_t, AtomicPart*>& atomic_part_id_index() { return *atomic_id_index_; }
+  // Keyed by MakeDateKey(build_date, id): an ordered multimap emulation.
+  Index<int64_t, AtomicPart*>& atomic_part_date_index() { return *atomic_date_index_; }
+  Index<int64_t, CompositePart*>& composite_part_id_index() { return *composite_id_index_; }
+  Index<std::string, Document*>& document_title_index() { return *document_title_index_; }
+  Index<int64_t, BaseAssembly*>& base_assembly_id_index() { return *base_id_index_; }
+  Index<int64_t, ComplexAssembly*>& complex_assembly_id_index() { return *complex_id_index_; }
+
+  // --- ID pools ---
+  IdPool& composite_part_ids() { return *composite_ids_; }
+  IdPool& atomic_part_ids() { return *atomic_ids_; }
+  IdPool& base_assembly_ids() { return *base_ids_; }
+  IdPool& complex_assembly_ids() { return *complex_ids_; }
+
+  // Document titles are a pure function of the composite part id, which is
+  // how ST4 generates "random document titles".
+  static std::string DocumentTitleFor(int64_t composite_part_id) {
+    return "Composite Part #" + std::to_string(composite_part_id);
+  }
+
+ private:
+  template <typename K, typename V>
+  std::unique_ptr<Index<K, V>> MakeIndex() const;
+
+  void BuildInitialStructure(Rng& rng);
+  void FreeEverything();
+
+  Setup setup_;
+
+  std::unique_ptr<Index<int64_t, AtomicPart*>> atomic_id_index_;
+  std::unique_ptr<Index<int64_t, AtomicPart*>> atomic_date_index_;
+  std::unique_ptr<Index<int64_t, CompositePart*>> composite_id_index_;
+  std::unique_ptr<Index<std::string, Document*>> document_title_index_;
+  std::unique_ptr<Index<int64_t, BaseAssembly*>> base_id_index_;
+  std::unique_ptr<Index<int64_t, ComplexAssembly*>> complex_id_index_;
+
+  std::unique_ptr<IdPool> composite_ids_;
+  std::unique_ptr<IdPool> atomic_ids_;
+  std::unique_ptr<IdPool> base_ids_;
+  std::unique_ptr<IdPool> complex_ids_;
+
+  Module* module_ = nullptr;
+  Manual* manual_ = nullptr;
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_CORE_DATA_HOLDER_H_

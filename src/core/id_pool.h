@@ -1,0 +1,68 @@
+// Transactional ID pool.
+//
+// Mirrors the Java benchmark's IdPool: ids live in [1, capacity]; deleted
+// objects return their ids for reuse. Random-ID operations draw uniformly
+// from [1, capacity] and *fail* when the id is currently unused — the
+// benchmark's designed failure mechanism (§3). Pool exhaustion is how "the
+// maximum size of the structure is confined".
+//
+// The pool is transactional state: an aborted structure modification rolls
+// its allocations back automatically.
+
+#ifndef STMBENCH7_SRC_CORE_ID_POOL_H_
+#define STMBENCH7_SRC_CORE_ID_POOL_H_
+
+#include <cstdint>
+
+#include "src/common/diag.h"
+#include "src/containers/txvector.h"
+#include "src/stm/field.h"
+
+namespace sb7 {
+
+class IdPool : public TmObject {
+ public:
+  explicit IdPool(int64_t capacity)
+      : capacity_(capacity), next_fresh_(unit(), 1), freed_(/*initial_capacity=*/8) {
+    SB7_CHECK(capacity >= 1);
+  }
+
+  int64_t capacity() const { return capacity_; }
+
+  // Free ids currently available.
+  int64_t Available() const {
+    return (capacity_ - next_fresh_.Get() + 1) + freed_.Size();
+  }
+
+  // Returns a fresh or recycled id, or 0 when the pool is exhausted. Callers
+  // that allocate in bulk should consult Available() first so an operation
+  // either fully succeeds or fails before mutating anything.
+  int64_t Allocate() {
+    const int64_t n = freed_.Size();
+    if (n > 0) {
+      const int64_t id = freed_.Get(n - 1);
+      freed_.RemoveAt(n - 1);
+      return id;
+    }
+    const int64_t fresh = next_fresh_.Get();
+    if (fresh > capacity_) {
+      return 0;
+    }
+    next_fresh_.Set(fresh + 1);
+    return fresh;
+  }
+
+  void Release(int64_t id) {
+    SB7_DCHECK(id >= 1 && id <= capacity_);
+    freed_.PushBack(id);
+  }
+
+ private:
+  const int64_t capacity_;
+  TxField<int64_t> next_fresh_;
+  TxVector<int64_t> freed_;
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_CORE_ID_POOL_H_

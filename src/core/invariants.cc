@@ -1,0 +1,290 @@
+#include "src/core/invariants.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/containers/index.h"
+
+namespace sb7 {
+namespace {
+
+uint64_t MixHash(uint64_t value) {
+  uint64_t state = value;
+  return SplitMix64Next(state);
+}
+
+uint64_t HashString(const std::string& text) {
+  // FNV-1a, folded through SplitMix for avalanche.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : text) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+  }
+  return MixHash(h);
+}
+
+class Checker {
+ public:
+  explicit Checker(DataHolder& dh) : dh_(dh) {}
+
+  InvariantReport Run() {
+    CollectAssemblies();
+    CheckAssemblyLinks();
+    CheckCompositeParts();
+    CheckIndexes();
+    CheckIdPools();
+    return std::move(report_);
+  }
+
+ private:
+  void Fail(std::string message) { report_.violations.push_back(std::move(message)); }
+
+  void CollectAssemblies() {
+    ComplexAssembly* root = dh_.module()->design_root();
+    if (root == nullptr) {
+      Fail("module has no design root");
+      return;
+    }
+    if (root->level() != dh_.params().assembly_levels) {
+      Fail("design root is not at the top level");
+    }
+    if (root->super_assembly() != nullptr) {
+      Fail("design root has a parent");
+    }
+    Walk(root);
+  }
+
+  void Walk(Assembly* assembly) {
+    if (assembly->is_base()) {
+      ++report_.base_assemblies;
+      bases_.push_back(static_cast<BaseAssembly*>(assembly));
+      return;
+    }
+    ++report_.complex_assemblies;
+    auto* complex = static_cast<ComplexAssembly*>(assembly);
+    complexes_.push_back(complex);
+    if (complex->sub_assemblies().Size() == 0) {
+      Fail("complex assembly " + std::to_string(complex->id()) + " has no children");
+    }
+    complex->sub_assemblies().ForEach([this, complex](Assembly* child) {
+      if (child->level() != complex->level() - 1) {
+        Fail("child level mismatch under complex assembly " + std::to_string(complex->id()));
+      }
+      if (child->super_assembly() != complex) {
+        Fail("parent back-link broken under complex assembly " + std::to_string(complex->id()));
+      }
+      Walk(child);
+    });
+  }
+
+  void CheckAssemblyLinks() {
+    for (BaseAssembly* base : bases_) {
+      base->components().ForEach([this, base](CompositePart* part) {
+        const int64_t forward = base->components().Count(part);
+        const int64_t backward = part->used_in().Count(base);
+        if (forward != backward) {
+          Fail("bag multiplicity mismatch: base assembly " + std::to_string(base->id()) +
+               " <-> composite part " + std::to_string(part->id()));
+        }
+      });
+    }
+  }
+
+  void CheckCompositeParts() {
+    dh_.composite_part_id_index().ForEach(
+        [this](const int64_t& id, CompositePart* const& part) {
+          ++report_.composite_parts;
+          if (part->id() != id) {
+            Fail("composite part index key does not match part id");
+          }
+          Document* doc = part->documentation();
+          if (doc == nullptr || doc->part() != part) {
+            Fail("document back-link broken for composite part " + std::to_string(id));
+          }
+          CheckGraph(part);
+          part->used_in().ForEach([this, part](BaseAssembly* base) {
+            if (base->components().Count(part) == 0) {
+              Fail("used_in lists a base assembly that does not hold the part: " +
+                   std::to_string(part->id()));
+            }
+          });
+          return true;
+        });
+  }
+
+  void CheckGraph(CompositePart* part) {
+    const auto& atoms = part->parts();
+    if (atoms.empty() || part->root_part() == nullptr) {
+      Fail("composite part " + std::to_string(part->id()) + " has an empty graph");
+      return;
+    }
+    std::unordered_set<AtomicPart*> members(atoms.begin(), atoms.end());
+    if (members.count(part->root_part()) == 0) {
+      Fail("root part not a member of its graph: " + std::to_string(part->id()));
+    }
+    for (AtomicPart* atom : atoms) {
+      ++report_.atomic_parts;
+      if (atom->part_of() != part) {
+        Fail("atomic part " + std::to_string(atom->id()) + " has a broken part_of link");
+      }
+      for (Connection* conn : atom->outgoing()) {
+        if (conn->from() != atom) {
+          Fail("connection from-link broken at atomic part " + std::to_string(atom->id()));
+        }
+        if (members.count(conn->to()) == 0) {
+          Fail("connection escapes its graph at atomic part " + std::to_string(atom->id()));
+        }
+        bool linked_back = false;
+        for (Connection* incoming : conn->to()->incoming()) {
+          if (incoming == conn) {
+            linked_back = true;
+            break;
+          }
+        }
+        if (!linked_back) {
+          Fail("connection missing from target's incoming list at atomic part " +
+               std::to_string(atom->id()));
+        }
+      }
+    }
+    // Reachability: the ring connection built at creation guarantees the
+    // whole graph is reachable from the root part.
+    std::unordered_set<AtomicPart*> seen;
+    std::vector<AtomicPart*> stack{part->root_part()};
+    seen.insert(part->root_part());
+    while (!stack.empty()) {
+      AtomicPart* atom = stack.back();
+      stack.pop_back();
+      for (Connection* conn : atom->outgoing()) {
+        if (seen.insert(conn->to()).second) {
+          stack.push_back(conn->to());
+        }
+      }
+    }
+    if (seen.size() != atoms.size()) {
+      Fail("atomic part graph not fully reachable for composite part " +
+           std::to_string(part->id()));
+    }
+  }
+
+  void CheckIndexes() {
+    // Assembly indexes match the tree walk exactly.
+    std::unordered_set<int64_t> complex_ids;
+    for (ComplexAssembly* complex : complexes_) {
+      complex_ids.insert(complex->id());
+      if (dh_.complex_assembly_id_index().Lookup(complex->id()) != complex) {
+        Fail("complex assembly missing from its index: " + std::to_string(complex->id()));
+      }
+    }
+    if (dh_.complex_assembly_id_index().Size() !=
+        static_cast<int64_t>(complex_ids.size())) {
+      Fail("complex assembly index has stale entries");
+    }
+    std::unordered_set<int64_t> base_ids;
+    for (BaseAssembly* base : bases_) {
+      base_ids.insert(base->id());
+      if (dh_.base_assembly_id_index().Lookup(base->id()) != base) {
+        Fail("base assembly missing from its index: " + std::to_string(base->id()));
+      }
+    }
+    if (dh_.base_assembly_id_index().Size() != static_cast<int64_t>(base_ids.size())) {
+      Fail("base assembly index has stale entries");
+    }
+
+    // Atomic part indexes: every live part under both keys, nothing extra.
+    int64_t live_atoms = 0;
+    dh_.composite_part_id_index().ForEach(
+        [this, &live_atoms](const int64_t&, CompositePart* const& part) {
+          for (AtomicPart* atom : part->parts()) {
+            ++live_atoms;
+            if (dh_.atomic_part_id_index().Lookup(atom->id()) != atom) {
+              Fail("atomic part missing from id index: " + std::to_string(atom->id()));
+            }
+            if (dh_.atomic_part_date_index().Lookup(
+                    MakeDateKey(atom->build_date(), atom->id())) != atom) {
+              Fail("atomic part missing from date index under current date: " +
+                   std::to_string(atom->id()));
+            }
+          }
+          return true;
+        });
+    if (dh_.atomic_part_id_index().Size() != live_atoms) {
+      Fail("atomic part id index has stale entries");
+    }
+    if (dh_.atomic_part_date_index().Size() != live_atoms) {
+      Fail("atomic part date index has stale entries");
+    }
+    if (dh_.document_title_index().Size() != report_.composite_parts) {
+      Fail("document title index size mismatch");
+    }
+  }
+
+  void CheckIdPools() {
+    auto check_pool = [this](IdPool& pool, int64_t live, const char* name) {
+      if (pool.Available() + live != pool.capacity()) {
+        Fail(std::string("id pool accounting broken for ") + name);
+      }
+    };
+    check_pool(dh_.composite_part_ids(), report_.composite_parts, "composite parts");
+    check_pool(dh_.atomic_part_ids(), report_.atomic_parts, "atomic parts");
+    check_pool(dh_.base_assembly_ids(), report_.base_assemblies, "base assemblies");
+    check_pool(dh_.complex_assembly_ids(), report_.complex_assemblies, "complex assemblies");
+  }
+
+  DataHolder& dh_;
+  InvariantReport report_;
+  std::vector<ComplexAssembly*> complexes_;
+  std::vector<BaseAssembly*> bases_;
+};
+
+}  // namespace
+
+InvariantReport CheckInvariants(DataHolder& dh) {
+  SB7_CHECK(CurrentTx() == nullptr);
+  return Checker(dh).Run();
+}
+
+uint64_t StructureChecksum(DataHolder& dh) {
+  SB7_CHECK(CurrentTx() == nullptr);
+  uint64_t sum = 0;
+
+  // Composite parts, their graphs and documents (order-independent fold).
+  dh.composite_part_id_index().ForEach([&sum](const int64_t& id, CompositePart* const& part) {
+    uint64_t h = MixHash(static_cast<uint64_t>(id) * 3 + 1);
+    h ^= MixHash(static_cast<uint64_t>(part->build_date()));
+    h ^= HashString(part->documentation()->text());
+    uint64_t atoms = 0;
+    for (AtomicPart* atom : part->parts()) {
+      uint64_t a = MixHash(static_cast<uint64_t>(atom->id()) * 5 + 2);
+      a ^= MixHash(static_cast<uint64_t>(atom->build_date()) + 0x1111);
+      a ^= MixHash(static_cast<uint64_t>(atom->x()) + 0x2222);
+      a ^= MixHash(static_cast<uint64_t>(atom->y()) * 7 + 0x3333);
+      atoms += a;
+    }
+    h ^= MixHash(atoms);
+    uint64_t links = 0;
+    part->used_in().ForEach(
+        [&links](BaseAssembly* base) { links += MixHash(static_cast<uint64_t>(base->id())); });
+    h ^= MixHash(links + 0x4444);
+    sum += h;
+    return true;
+  });
+
+  // Assembly tree.
+  auto walk = [&sum](auto&& self, Assembly* assembly) -> void {
+    uint64_t h = MixHash(static_cast<uint64_t>(assembly->id()) * 11 + 3);
+    h ^= MixHash(static_cast<uint64_t>(assembly->build_date()) + 0x5555);
+    h ^= MixHash(static_cast<uint64_t>(assembly->level()) + 0x6666);
+    sum += h;
+    if (!assembly->is_base()) {
+      static_cast<ComplexAssembly*>(assembly)->sub_assemblies().ForEach(
+          [&self](Assembly* child) { self(self, child); });
+    }
+  };
+  walk(walk, dh.module()->design_root());
+
+  sum += HashString(dh.manual()->text());
+  return sum;
+}
+
+}  // namespace sb7

@@ -1,0 +1,52 @@
+// Structure invariant checking and whole-structure checksumming.
+//
+// The checker validates every cross-link and index the benchmark maintains;
+// integration tests run it after multi-threaded workloads to prove that the
+// strategy under test preserved atomicity. The checksum folds all mutable
+// and structural state into one value; cross-backend equivalence tests use
+// it to show that identically seeded runs under different strategies produce
+// identical structures.
+//
+// Both entry points must be called from a quiescent state (no transaction
+// installed, no concurrent workers).
+
+#ifndef STMBENCH7_SRC_CORE_INVARIANTS_H_
+#define STMBENCH7_SRC_CORE_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/data_holder.h"
+
+namespace sb7 {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+  // Live-object tallies gathered during the walk (useful in tests).
+  int64_t complex_assemblies = 0;
+  int64_t base_assemblies = 0;
+  int64_t composite_parts = 0;
+  int64_t atomic_parts = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Walks the full structure and all indexes. Checks, among others:
+//  * tree shape: child levels, parent back-links, root at the top level;
+//  * bidirectional consistency of base-assembly <-> composite-part bags
+//    (pairwise multiplicities match);
+//  * per-graph integrity: part_of back-links, connection endpoint links,
+//    reachability of every atomic part from the root part;
+//  * all six indexes agree exactly with the live structure (including the
+//    date index tracking current build dates);
+//  * id pools: live count + available == capacity.
+InvariantReport CheckInvariants(DataHolder& dh);
+
+// Order-independent structural checksum (ids, dates, x/y, text hashes,
+// link multiset hashes).
+uint64_t StructureChecksum(DataHolder& dh);
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_CORE_INVARIANTS_H_

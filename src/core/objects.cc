@@ -1,0 +1,39 @@
+#include "src/core/objects.h"
+
+namespace sb7 {
+
+void AtomicPart::set_part_of(CompositePart* part) {
+  part_of_ = part;
+  unit().set_cover(&part->unit());
+}
+
+void Document::set_part(CompositePart* part) {
+  part_ = part;
+  unit().set_cover(&part->unit());
+}
+
+int64_t Document::TogglePhrase() {
+  const std::string& body = text_.Get();
+  auto [replaced, count] = ReplaceAll(body, "I am", "This is");
+  if (count == 0) {
+    std::tie(replaced, count) = ReplaceAll(body, "This is", "I am");
+  }
+  if (count > 0) {
+    text_.Set(std::move(replaced));
+  }
+  return count;
+}
+
+int64_t Manual::ToggleCase() {
+  const std::string& body = text_.Get();
+  auto [replaced, count] = ReplaceChar(body, 'I', 'i');
+  if (count == 0) {
+    std::tie(replaced, count) = ReplaceChar(body, 'i', 'I');
+  }
+  if (count > 0) {
+    text_.Set(std::move(replaced));
+  }
+  return count;
+}
+
+}  // namespace sb7

@@ -1,0 +1,43 @@
+#include "src/core/parameters.h"
+
+namespace sb7 {
+
+Parameters Parameters::Medium() { return Parameters{}; }
+
+Parameters Parameters::Small() {
+  Parameters p;
+  p.assembly_levels = 5;
+  p.assembly_fanout = 3;
+  p.components_per_assembly = 3;
+  p.initial_composite_parts = 50;
+  p.atomic_parts_per_composite = 20;
+  p.connections_per_atomic = 3;
+  p.document_size = 200;
+  p.manual_size = 10'000;
+  return p;
+}
+
+Parameters Parameters::Tiny() {
+  Parameters p;
+  p.assembly_levels = 3;
+  p.assembly_fanout = 2;
+  p.components_per_assembly = 2;
+  p.initial_composite_parts = 8;
+  p.atomic_parts_per_composite = 5;
+  p.connections_per_atomic = 2;
+  p.document_size = 80;
+  p.manual_size = 1'000;
+  return p;
+}
+
+Parameters Parameters::ForName(std::string_view name) {
+  if (name == "medium") {
+    return Medium();
+  }
+  if (name == "tiny") {
+    return Tiny();
+  }
+  return Small();
+}
+
+}  // namespace sb7

@@ -1,0 +1,76 @@
+// Structure-scale parameters.
+//
+// The paper bases STMBench7 on the "medium" OO7 configuration: a single
+// module with six levels of complex assemblies of fan-out three (so 3^6 = 729
+// base assemblies at level 1 and the root at level 7), a design library of
+// 500 composite parts, each with a graph of 200 atomic parts (100 000 atomic
+// parts total) and at least three connections per atomic part, 2 000-char
+// documents and a ~1 MB manual. Smaller presets exist for tests, examples and
+// the ASTM long-traversal demonstrations (where the O(k^2) validation makes
+// full scale take, per the paper, "as much as half an hour").
+
+#ifndef STMBENCH7_SRC_CORE_PARAMETERS_H_
+#define STMBENCH7_SRC_CORE_PARAMETERS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace sb7 {
+
+struct Parameters {
+  // Assembly tree: base assemblies at level 1, root complex assembly at
+  // level `assembly_levels`.
+  int assembly_levels = 7;
+  int assembly_fanout = 3;           // sub-assemblies per complex assembly
+  int components_per_assembly = 3;   // composite parts linked per base assembly
+
+  int initial_composite_parts = 500;
+  int atomic_parts_per_composite = 200;
+  int connections_per_atomic = 3;    // outgoing connections per atomic part
+
+  int document_size = 2000;          // characters
+  int manual_size = 1'000'000;       // characters
+
+  int64_t min_build_date = 1900;
+  int64_t max_build_date = 1999;
+  // OP2's "young parts" range is [1990, 1999]; OP3's is the full range.
+  int64_t young_date_lo = 1990;
+
+  // ID pools are sized at twice the initial population; structure-modifying
+  // operations fail when a pool is exhausted, which bounds the structure
+  // (§3: "the maximum size of the structure is confined").
+  int id_pool_slack_factor = 2;
+
+  int base_assembly_count() const {
+    // Root at level `assembly_levels`, base assemblies at level 1:
+    // fanout^(levels - 1) leaves.
+    int n = 1;
+    for (int i = 1; i <= assembly_levels - 1; ++i) {
+      n *= assembly_fanout;
+    }
+    return n;
+  }
+  int complex_assembly_count() const {
+    int n = 0;
+    int layer = 1;
+    for (int i = 0; i < assembly_levels - 1; ++i) {
+      n += layer;
+      layer *= assembly_fanout;
+    }
+    return n;
+  }
+  int initial_atomic_parts() const {
+    return initial_composite_parts * atomic_parts_per_composite;
+  }
+
+  static Parameters Medium();  // the paper's configuration
+  static Parameters Small();   // CI-sized: ~1k atomic parts
+  static Parameters Tiny();    // unit-test sized: tens of objects
+
+  // "medium" | "small" | "tiny"; falls back to Small for unknown names.
+  static Parameters ForName(std::string_view name);
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_CORE_PARAMETERS_H_

@@ -1,0 +1,180 @@
+#include "src/ebr/ebr.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/diag.h"
+
+namespace sb7 {
+namespace {
+
+// Domains that are still alive. Thread-exit cleanup consults this so that a
+// ThreadState outliving its (test-local) domain does not touch freed memory.
+std::mutex& AliveMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<EbrDomain*>& AliveDomains() {
+  static std::vector<EbrDomain*> domains;
+  return domains;
+}
+
+constexpr size_t kLimboReclaimThreshold = 512;
+constexpr uint64_t kQuiesceReclaimPeriod = 64;
+
+}  // namespace
+
+// Per-thread, per-domain state. Destroyed at thread exit; any objects still
+// in limbo are handed to the domain's orphan list.
+class EbrDomain::ThreadState {
+ public:
+  explicit ThreadState(EbrDomain* domain) : domain_(domain), slot_(domain->RegisterThread()) {}
+
+  ~ThreadState() {
+    std::lock_guard<std::mutex> lock(AliveMutex());
+    auto& alive = AliveDomains();
+    if (std::find(alive.begin(), alive.end(), domain_) != alive.end()) {
+      domain_->UnregisterThread(slot_, std::move(limbo_));
+    }
+  }
+
+  ThreadState(const ThreadState&) = delete;
+  ThreadState& operator=(const ThreadState&) = delete;
+
+  EbrDomain* domain_;
+  int slot_;
+  std::vector<Retired> limbo_;
+  uint64_t quiesce_calls_ = 0;
+};
+
+EbrDomain::EbrDomain() {
+  std::lock_guard<std::mutex> lock(AliveMutex());
+  AliveDomains().push_back(this);
+}
+
+EbrDomain::~EbrDomain() {
+  DrainAll();
+  std::lock_guard<std::mutex> lock(AliveMutex());
+  auto& alive = AliveDomains();
+  alive.erase(std::remove(alive.begin(), alive.end(), this), alive.end());
+}
+
+EbrDomain& EbrDomain::Global() {
+  static EbrDomain* domain = new EbrDomain();  // intentionally immortal
+  return *domain;
+}
+
+int EbrDomain::RegisterThread() {
+  const uint64_t now = global_epoch_.load(std::memory_order_acquire);
+  for (int i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (slots_[i].in_use.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      slots_[i].local_epoch.store(now, std::memory_order_release);
+      return i;
+    }
+  }
+  SB7_CHECK(false && "EbrDomain: too many registered threads");
+  return -1;
+}
+
+void EbrDomain::UnregisterThread(int slot, std::vector<Retired>&& leftovers) {
+  {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    orphans_.insert(orphans_.end(), leftovers.begin(), leftovers.end());
+  }
+  slots_[slot].in_use.store(false, std::memory_order_release);
+}
+
+EbrDomain::ThreadState& EbrDomain::LocalState() {
+  thread_local std::vector<std::unique_ptr<ThreadState>> states;
+  for (const auto& state : states) {
+    if (state->domain_ == this) {
+      return *state;
+    }
+  }
+  states.push_back(std::make_unique<ThreadState>(this));
+  return *states.back();
+}
+
+void EbrDomain::Retire(void* ptr, void (*deleter)(void*)) {
+  ThreadState& state = LocalState();
+  state.limbo_.push_back(
+      Retired{ptr, deleter, global_epoch_.load(std::memory_order_acquire)});
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (state.limbo_.size() >= kLimboReclaimThreshold) {
+    TryReclaim();
+  }
+}
+
+void EbrDomain::Quiesce() {
+  ThreadState& state = LocalState();
+  slots_[state.slot_].local_epoch.store(global_epoch_.load(std::memory_order_acquire),
+                                        std::memory_order_release);
+  if (++state.quiesce_calls_ % kQuiesceReclaimPeriod == 0 || !state.limbo_.empty()) {
+    TryReclaim();
+  }
+}
+
+uint64_t EbrDomain::MinAnnouncedEpoch() const {
+  uint64_t min_epoch = global_epoch_.load(std::memory_order_acquire);
+  for (const Slot& slot : slots_) {
+    if (slot.in_use.load(std::memory_order_acquire)) {
+      min_epoch = std::min(min_epoch, slot.local_epoch.load(std::memory_order_acquire));
+    }
+  }
+  return min_epoch;
+}
+
+void EbrDomain::FreeSafe(std::vector<Retired>& limbo, uint64_t safe_before) {
+  auto writer = limbo.begin();
+  for (auto& entry : limbo) {
+    if (entry.epoch < safe_before) {
+      entry.deleter(entry.ptr);
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      *writer++ = entry;
+    }
+  }
+  limbo.erase(writer, limbo.end());
+}
+
+void EbrDomain::TryReclaim() {
+  const uint64_t min_epoch = MinAnnouncedEpoch();
+  const uint64_t global = global_epoch_.load(std::memory_order_acquire);
+  if (min_epoch == global) {
+    // Every thread has seen the current epoch; it is safe to open a new one.
+    uint64_t expected = global;
+    global_epoch_.compare_exchange_strong(expected, global + 1, std::memory_order_acq_rel);
+  }
+  // Objects retired at epoch e are safe once min >= e + 2.
+  if (min_epoch < 2) {
+    return;
+  }
+  const uint64_t safe_before = min_epoch - 1;
+  FreeSafe(LocalState().limbo_, safe_before);
+  if (orphan_mu_.try_lock()) {
+    FreeSafe(orphans_, safe_before);
+    orphan_mu_.unlock();
+  }
+}
+
+int64_t EbrDomain::DrainAll() {
+  int64_t freed = 0;
+  const uint64_t everything = ~uint64_t{0};
+  {
+    std::vector<Retired>& limbo = LocalState().limbo_;
+    freed += static_cast<int64_t>(limbo.size());
+    FreeSafe(limbo, everything);
+  }
+  {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    freed += static_cast<int64_t>(orphans_.size());
+    FreeSafe(orphans_, everything);
+  }
+  return freed;
+}
+
+int64_t EbrDomain::PendingCount() const { return pending_.load(std::memory_order_relaxed); }
+
+}  // namespace sb7

@@ -1,0 +1,118 @@
+// Quiescent-state-based epoch reclamation (QSBR).
+//
+// Why this exists: the word-based STMs (TL2, TinySTM) read shared memory
+// optimistically. A doomed transaction — one that will fail validation — may
+// still be dereferencing objects that a concurrent, committed structure-
+// modification operation has already unlinked. The original Java benchmark
+// leaned on the JVM's garbage collector for this "type-stable memory"
+// guarantee; here the same guarantee comes from deferring frees until every
+// registered thread has passed through a quiescent state (a point outside any
+// transaction / critical section).
+//
+// Usage contract:
+//   * every worker thread registers once (RAII ThreadRegistration, or lazily
+//     through the thread_local accessor);
+//   * threads announce quiescence between benchmark operations by calling
+//     EbrDomain::Quiesce();
+//   * deleters run on whichever thread triggers reclamation; they must not
+//     touch shared state.
+//
+// The implementation is the classic three-epoch scheme folded into QSBR: a
+// global epoch advances once every registered thread has observed it; retired
+// objects tagged with epoch E are freed once the global epoch reaches E + 2.
+
+#ifndef STMBENCH7_SRC_EBR_EBR_H_
+#define STMBENCH7_SRC_EBR_EBR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+namespace sb7 {
+
+class EbrDomain {
+ public:
+  static constexpr int kMaxThreads = 256;
+
+  EbrDomain();
+  ~EbrDomain();
+
+  EbrDomain(const EbrDomain&) = delete;
+  EbrDomain& operator=(const EbrDomain&) = delete;
+
+  // Process-wide domain used by the benchmark structure.
+  static EbrDomain& Global();
+
+  // Defers destruction of `ptr` until it is provably unreachable. May be
+  // called from unregistered threads (the object is then routed through the
+  // orphan list and freed on the next successful reclamation pass).
+  void Retire(void* ptr, void (*deleter)(void*));
+
+  template <typename T>
+  void RetireObject(T* ptr) {
+    Retire(const_cast<std::remove_const_t<T>*>(ptr),
+           [](void* p) { delete static_cast<std::remove_const_t<T>*>(p); });
+  }
+
+  // Announces that the calling thread holds no references into shared
+  // structures. Cheap; called between operations.
+  void Quiesce();
+
+  // Attempts to advance the global epoch and free everything that became
+  // safe. Called internally from Quiesce()/Retire(); exposed for tests and
+  // for draining at shutdown.
+  void TryReclaim();
+
+  // Frees every retired object unconditionally. Only safe when the caller
+  // guarantees no other thread is inside a read-side section (e.g. after all
+  // workers joined). Returns the number of objects freed.
+  int64_t DrainAll();
+
+  // Number of objects currently waiting in limbo (approximate; for tests).
+  int64_t PendingCount() const;
+
+  uint64_t global_epoch() const { return global_epoch_.load(std::memory_order_acquire); }
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  struct Slot {
+    std::atomic<bool> in_use{false};
+    // Last global epoch this thread has announced. kOffline when the thread
+    // is registered but has never quiesced yet (treated as current).
+    std::atomic<uint64_t> local_epoch{0};
+  };
+
+  class ThreadState;
+  friend class ThreadState;
+
+  // Registers the calling thread and returns its slot index.
+  int RegisterThread();
+  void UnregisterThread(int slot, std::vector<Retired>&& leftovers);
+
+  ThreadState& LocalState();
+
+  // Smallest epoch announced by any registered thread.
+  uint64_t MinAnnouncedEpoch() const;
+
+  void FreeSafe(std::vector<Retired>& limbo, uint64_t safe_before);
+
+  std::atomic<uint64_t> global_epoch_{2};
+  Slot slots_[kMaxThreads];
+
+  // Objects inherited from exited threads; protected by orphan_mu_.
+  mutable std::mutex orphan_mu_;
+  std::vector<Retired> orphans_;
+
+  std::atomic<int64_t> pending_{0};
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_EBR_EBR_H_

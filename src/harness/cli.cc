@@ -1,0 +1,166 @@
+#include "src/harness/cli.h"
+
+#include <cstdlib>
+
+namespace sb7 {
+namespace {
+
+bool ParseInt(const std::string& text, int64_t& out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double& out) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string UsageText() {
+  return R"(usage: stmbench7 [options]
+  -t <n>                 number of threads (default 1)
+  -l <seconds>           benchmark length (default 10)
+  -w r|rw|w              workload type (default r = read-dominated)
+  -g <strategy>          coarse | medium | fine | tl2 | tinystm | norec | astm
+  --no-traversals        disable long traversals
+  --no-sms               disable structure modification operations
+  --ttc-histograms       print TTC (latency) histograms
+  -s <scale>             tiny | small | medium (default small)
+  --seed <n>             RNG seed (default 20070326)
+  --index <kind>         stdmap | snapshot | skiplist (default: per strategy)
+  --cm <manager>         polka | karma | aggressive | timid (astm only)
+  --disable <op>         disable one operation by name (repeatable)
+  --short-only           apply the paper's Figure-6 operation subset
+  --max-ops <n>          stop after n started operations
+  --read-ratio <f>       custom read-only share in [0,1] (overrides -w)
+  --csv <file>           also write a machine-readable CSV report
+  --verify               check all structure invariants after the run
+  --help                 show this message
+)";
+}
+
+CliResult ParseCommandLine(int argc, const char* const* argv) {
+  CliResult result;
+  BenchConfig& config = result.config;
+
+  auto fail = [&result](std::string message) {
+    result.error = std::move(message);
+    return result;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string& out) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      result.show_help = true;
+      return result;
+    }
+    if (arg == "-t") {
+      int64_t threads = 0;
+      if (!next(value) || !ParseInt(value, threads) || threads < 1) {
+        return fail("-t requires a positive integer");
+      }
+      config.threads = static_cast<int>(threads);
+    } else if (arg == "-l") {
+      double seconds = 0;
+      if (!next(value) || !ParseDouble(value, seconds) || seconds <= 0) {
+        return fail("-l requires a positive number of seconds");
+      }
+      config.length_seconds = seconds;
+    } else if (arg == "-w") {
+      if (!next(value) || (value != "r" && value != "rw" && value != "w")) {
+        return fail("-w requires r, rw or w");
+      }
+      config.workload = WorkloadTypeForName(value);
+    } else if (arg == "-g") {
+      if (!next(value)) {
+        return fail("-g requires a strategy name");
+      }
+      if (value != "coarse" && value != "medium" && value != "fine" && value != "tl2" && value != "tinystm" && value != "norec" &&
+          value != "astm") {
+        return fail("unknown strategy: " + value);
+      }
+      config.strategy = value;
+    } else if (arg == "--no-traversals") {
+      config.long_traversals = false;
+    } else if (arg == "--no-sms") {
+      config.structure_mods = false;
+    } else if (arg == "--ttc-histograms") {
+      config.ttc_histograms = true;
+    } else if (arg == "-s") {
+      if (!next(value) || (value != "tiny" && value != "small" && value != "medium")) {
+        return fail("-s requires tiny, small or medium");
+      }
+      config.scale = value;
+    } else if (arg == "--seed") {
+      int64_t seed = 0;
+      if (!next(value) || !ParseInt(value, seed)) {
+        return fail("--seed requires an integer");
+      }
+      config.seed = static_cast<uint64_t>(seed);
+    } else if (arg == "--index") {
+      if (!next(value) ||
+          (value != "stdmap" && value != "snapshot" && value != "skiplist")) {
+        return fail("--index requires stdmap, snapshot or skiplist");
+      }
+      config.index_kind = IndexKindForName(value);
+    } else if (arg == "--cm") {
+      if (!next(value)) {
+        return fail("--cm requires a contention manager name");
+      }
+      config.contention_manager = value;
+    } else if (arg == "--disable") {
+      if (!next(value)) {
+        return fail("--disable requires an operation name");
+      }
+      config.disabled_ops.insert(value);
+    } else if (arg == "--short-only") {
+      for (const std::string& name : Figure6DisabledOps()) {
+        config.disabled_ops.insert(name);
+      }
+      config.long_traversals = false;
+    } else if (arg == "--read-ratio") {
+      double fraction = 0;
+      if (!next(value) || !ParseDouble(value, fraction) || fraction < 0 || fraction > 1) {
+        return fail("--read-ratio requires a number in [0,1]");
+      }
+      config.read_fraction = fraction;
+    } else if (arg == "--csv") {
+      if (!next(value) || value.empty()) {
+        return fail("--csv requires a file path");
+      }
+      config.csv_path = value;
+    } else if (arg == "--verify") {
+      config.verify_invariants = true;
+    } else if (arg == "--max-ops") {
+      int64_t cap = 0;
+      if (!next(value) || !ParseInt(value, cap) || cap < 0) {
+        return fail("--max-ops requires a non-negative integer");
+      }
+      config.max_operations = cap;
+    } else {
+      return fail("unknown argument: " + arg);
+    }
+  }
+  return result;
+}
+
+}  // namespace sb7

@@ -1,0 +1,29 @@
+// Command-line parsing for the stmbench7 binary (Appendix A.1, plus the
+// extensions this reproduction adds: scale, seed, index kind, contention
+// manager, operation blacklist, op-count cap).
+
+#ifndef STMBENCH7_SRC_HARNESS_CLI_H_
+#define STMBENCH7_SRC_HARNESS_CLI_H_
+
+#include <optional>
+#include <string>
+
+#include "src/harness/driver.h"
+
+namespace sb7 {
+
+struct CliResult {
+  BenchConfig config;
+  bool show_help = false;
+  // Set when parsing failed; the message describes the offending argument.
+  std::optional<std::string> error;
+};
+
+CliResult ParseCommandLine(int argc, const char* const* argv);
+
+// Usage text for --help and parse errors.
+std::string UsageText();
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_HARNESS_CLI_H_

@@ -1,0 +1,102 @@
+#include "src/harness/driver.h"
+
+#include <thread>
+
+#include "src/common/timing.h"
+#include "src/ebr/ebr.h"
+
+namespace sb7 {
+
+BenchmarkRunner::BenchmarkRunner(const BenchConfig& config) : config_(config) {
+  SB7_CHECK(config_.threads >= 1);
+  strategy_ = MakeStrategy(config_.strategy, config_.contention_manager);
+  SB7_CHECK(strategy_ != nullptr);
+
+  DataHolder::Setup setup;
+  setup.params = Parameters::ForName(config_.scale);
+  setup.index_kind = config_.index_kind.value_or(DefaultIndexKindFor(config_.strategy));
+  setup.seed = config_.seed;
+  data_ = std::make_unique<DataHolder>(setup);
+
+  const double read_fraction =
+      config_.read_fraction.value_or(ReadOnlyFraction(config_.workload));
+  ratios_ = ComputeOperationRatios(registry_, read_fraction, config_.long_traversals,
+                                   config_.structure_mods, config_.disabled_ops);
+}
+
+void BenchmarkRunner::WorkerLoop(int worker_index, Rng rng, int64_t deadline_nanos,
+                                 std::vector<OpMetrics>& metrics) {
+  (void)worker_index;
+  const auto& ops = registry_.all();
+  const int64_t budget = config_.max_operations;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (NowNanos() >= deadline_nanos) {
+      break;
+    }
+    if (budget >= 0 &&
+        started_budget_.fetch_add(1, std::memory_order_relaxed) >= budget) {
+      break;
+    }
+    const int index = SampleOperation(ratios_, rng);
+    const int64_t begin = NowNanos();
+    try {
+      strategy_->Execute(*ops[index], *data_, rng);
+      metrics[index].RecordSuccess(NowNanos() - begin);
+    } catch (const OperationFailed&) {
+      metrics[index].RecordFailure();
+    }
+    EbrDomain::Global().Quiesce();
+  }
+}
+
+BenchResult BenchmarkRunner::Run() {
+  const size_t op_count = registry_.all().size();
+  std::vector<std::vector<OpMetrics>> per_thread(config_.threads,
+                                                 std::vector<OpMetrics>(op_count));
+
+  Rng seeder(config_.seed ^ 0x9d867b3543aa5391ull);
+  const int64_t start = NowNanos();
+  const int64_t deadline =
+      start + static_cast<int64_t>(config_.length_seconds * 1e9);
+
+  if (config_.threads == 1) {
+    // In-thread execution keeps single-threaded runs fully deterministic,
+    // which the cross-backend equivalence tests require.
+    WorkerLoop(0, seeder.Split(), deadline, per_thread[0]);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(config_.threads);
+    for (int t = 0; t < config_.threads; ++t) {
+      Rng rng = seeder.Split();
+      workers.emplace_back([this, t, rng, deadline, &per_thread]() mutable {
+        WorkerLoop(t, rng, deadline, per_thread[t]);
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  }
+  const int64_t end = NowNanos();
+
+  BenchResult result;
+  result.per_op.resize(op_count);
+  for (const auto& thread_metrics : per_thread) {
+    for (size_t i = 0; i < op_count; ++i) {
+      result.per_op[i].Merge(thread_metrics[i]);
+    }
+  }
+  for (const OpMetrics& metrics : result.per_op) {
+    result.total_success += metrics.success;
+    result.total_started += metrics.started();
+  }
+  result.ratios = ratios_;
+  result.elapsed_seconds = NanosToSeconds(end - start);
+  if (Stm* stm = strategy_->stm()) {
+    result.stm = stm->stats().Snapshot();
+  }
+  EbrDomain::Global().Quiesce();
+  EbrDomain::Global().TryReclaim();
+  return result;
+}
+
+}  // namespace sb7

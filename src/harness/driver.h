@@ -1,0 +1,76 @@
+// Benchmark driver: builds the world, spawns uniform worker threads, and
+// collects results (§4: "threads are uniform — each picks its next operation
+// randomly from the whole pool of 45 operations" with the configured ratios).
+
+#ifndef STMBENCH7_SRC_HARNESS_DRIVER_H_
+#define STMBENCH7_SRC_HARNESS_DRIVER_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/core/data_holder.h"
+#include "src/harness/metrics.h"
+#include "src/harness/workload.h"
+#include "src/strategy/strategy.h"
+
+namespace sb7 {
+
+struct BenchConfig {
+  std::string strategy = "coarse";  // coarse | medium | tl2 | tinystm | astm
+  std::string contention_manager = "polka";
+  std::string scale = "small";  // tiny | small | medium
+  // Defaults to DefaultIndexKindFor(strategy) when unset.
+  std::optional<IndexKind> index_kind;
+
+  WorkloadType workload = WorkloadType::kReadDominated;
+  // Overrides the workload preset's read-only share when set (in [0, 1]).
+  std::optional<double> read_fraction;
+  int threads = 1;
+  double length_seconds = 10.0;
+  bool long_traversals = true;
+  bool structure_mods = true;
+  std::set<std::string> disabled_ops;
+
+  bool ttc_histograms = false;
+  // Run the structural invariant checker after the benchmark (CLI --verify).
+  bool verify_invariants = false;
+  // When non-empty, the CLI writes a machine-readable CSV here.
+  std::string csv_path;
+  uint64_t seed = 20070326;
+
+  // Optional cap on started operations (whichever of time/cap hits first);
+  // -1 = unlimited. Used by tests and benches for determinism.
+  int64_t max_operations = -1;
+};
+
+class BenchmarkRunner {
+ public:
+  explicit BenchmarkRunner(const BenchConfig& config);
+
+  // Runs the configured workload to completion. May be called once.
+  BenchResult Run();
+
+  const BenchConfig& config() const { return config_; }
+  DataHolder& data() { return *data_; }
+  SyncStrategy& strategy() const { return *strategy_; }
+  const OperationRegistry& registry() const { return registry_; }
+  const std::vector<double>& ratios() const { return ratios_; }
+
+ private:
+  void WorkerLoop(int worker_index, Rng rng, int64_t deadline_nanos,
+                  std::vector<OpMetrics>& metrics);
+
+  BenchConfig config_;
+  OperationRegistry registry_;
+  std::unique_ptr<SyncStrategy> strategy_;
+  std::unique_ptr<DataHolder> data_;
+  std::vector<double> ratios_;
+  std::atomic<int64_t> started_budget_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_HARNESS_DRIVER_H_

@@ -1,0 +1,62 @@
+// Per-operation measurement containers and result aggregation.
+
+#ifndef STMBENCH7_SRC_HARNESS_METRICS_H_
+#define STMBENCH7_SRC_HARNESS_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/ops/operation.h"
+#include "src/stm/stm.h"
+
+namespace sb7 {
+
+// Counters for one operation on one thread; merged after the run. The TTC
+// histogram records successful completions (Appendix A reports failures as a
+// bare count).
+struct OpMetrics {
+  int64_t success = 0;
+  int64_t failed = 0;
+  TtcHistogram histogram;
+
+  int64_t started() const { return success + failed; }
+  void RecordSuccess(int64_t nanos) {
+    ++success;
+    histogram.Record(nanos);
+  }
+  void RecordFailure() { ++failed; }
+  void Merge(const OpMetrics& other) {
+    success += other.success;
+    failed += other.failed;
+    histogram.Merge(other.histogram);
+  }
+};
+
+struct BenchResult {
+  // Parallel to OperationRegistry::all().
+  std::vector<OpMetrics> per_op;
+  std::vector<double> ratios;  // configured selection probabilities
+
+  double elapsed_seconds = 0.0;
+  int64_t total_success = 0;
+  int64_t total_started = 0;
+
+  StmStats::View stm = {};  // zeros for lock strategies
+
+  double SuccessThroughput() const {
+    return elapsed_seconds > 0 ? static_cast<double>(total_success) / elapsed_seconds : 0.0;
+  }
+  double StartedThroughput() const {
+    return elapsed_seconds > 0 ? static_cast<double>(total_started) / elapsed_seconds : 0.0;
+  }
+
+  // Max successful latency of operation `index`, in milliseconds.
+  double MaxLatencyMillis(size_t index) const {
+    return static_cast<double>(per_op[index].histogram.max_nanos()) / 1e6;
+  }
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_HARNESS_METRICS_H_

@@ -1,0 +1,176 @@
+#include "src/harness/report.h"
+
+#include <array>
+#include <cmath>
+#include <iomanip>
+
+namespace sb7 {
+namespace {
+
+constexpr std::array<OpCategory, 4> kCategories = {
+    OpCategory::kLongTraversal,
+    OpCategory::kShortTraversal,
+    OpCategory::kShortOperation,
+    OpCategory::kStructureModification,
+};
+
+}  // namespace
+
+void PrintReport(std::ostream& out, const BenchmarkRunner& runner, const BenchResult& result) {
+  const BenchConfig& config = runner.config();
+  const auto& ops = runner.registry().all();
+
+  out << "== Benchmark parameters ==\n";
+  out << "  strategy:            " << config.strategy;
+  if (config.strategy == "astm") {
+    out << " (contention manager: " << config.contention_manager << ")";
+  }
+  out << "\n";
+  out << "  scale:               " << config.scale << "\n";
+  out << "  index kind:          "
+      << IndexKindName(config.index_kind.value_or(DefaultIndexKindFor(config.strategy)))
+      << "\n";
+  out << "  threads:             " << config.threads << "\n";
+  out << "  length [s]:          " << config.length_seconds << "\n";
+  out << "  workload:            " << WorkloadTypeName(config.workload) << "\n";
+  out << "  long traversals:     " << (config.long_traversals ? "enabled" : "disabled") << "\n";
+  out << "  structure mods:      " << (config.structure_mods ? "enabled" : "disabled") << "\n";
+  if (!config.disabled_ops.empty()) {
+    out << "  disabled operations:";
+    for (const std::string& name : config.disabled_ops) {
+      out << ' ' << name;
+    }
+    out << "\n";
+  }
+  out << "  seed:                " << config.seed << "\n";
+
+  if (config.ttc_histograms) {
+    out << "\n== TTC histograms ==\n";
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (result.per_op[i].success == 0) {
+        continue;
+      }
+      out << "TTC histogram for " << ops[i]->name() << ": "
+          << result.per_op[i].histogram.Format() << "\n";
+    }
+  }
+
+  out << "\n== Detailed results ==\n";
+  out << std::left << std::setw(6) << "op" << std::right << std::setw(12) << "completed"
+      << std::setw(14) << "max-ttc[ms]" << std::setw(10) << "failed" << "\n";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const OpMetrics& metrics = result.per_op[i];
+    if (metrics.started() == 0 && result.ratios[i] == 0.0) {
+      continue;
+    }
+    out << std::left << std::setw(6) << ops[i]->name() << std::right << std::setw(12)
+        << metrics.success << std::setw(14) << std::fixed << std::setprecision(2)
+        << result.MaxLatencyMillis(i) << std::setw(10) << metrics.failed << "\n";
+  }
+
+  // Sample errors (Appendix A §4): CT = configured ratio, RT = observed ratio
+  // of successful completions, ET = |CT - RT|; AT additionally counts failed
+  // executions, FT = |AT - RT|.
+  out << "\n== Sample errors ==\n";
+  out << std::left << std::setw(6) << "op" << std::right << std::setw(10) << "CT"
+      << std::setw(10) << "RT" << std::setw(10) << "ET" << std::setw(10) << "AT"
+      << std::setw(10) << "FT" << "\n";
+  double total_e = 0.0;
+  double total_f = 0.0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (result.ratios[i] == 0.0) {
+      continue;
+    }
+    const OpMetrics& metrics = result.per_op[i];
+    const double ct = result.ratios[i];
+    const double rt = result.total_success > 0
+                          ? static_cast<double>(metrics.success) /
+                                static_cast<double>(result.total_success)
+                          : 0.0;
+    const double at = result.total_success > 0
+                          ? static_cast<double>(metrics.started()) /
+                                static_cast<double>(result.total_success)
+                          : 0.0;
+    const double et = std::abs(ct - rt);
+    const double ft = std::abs(at - rt);
+    total_e += et;
+    total_f += ft;
+    out << std::left << std::setw(6) << ops[i]->name() << std::right << std::fixed
+        << std::setprecision(4) << std::setw(10) << ct << std::setw(10) << rt << std::setw(10)
+        << et << std::setw(10) << at << std::setw(10) << ft << "\n";
+  }
+  out << "total sample errors: E = " << std::setprecision(4) << total_e << ", F = " << total_f
+      << "\n";
+
+  out << "\n== Summary results ==\n";
+  for (OpCategory category : kCategories) {
+    int64_t success = 0;
+    int64_t failed = 0;
+    int64_t max_nanos = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i]->category() != category) {
+        continue;
+      }
+      success += result.per_op[i].success;
+      failed += result.per_op[i].failed;
+      max_nanos = std::max(max_nanos, result.per_op[i].histogram.max_nanos());
+    }
+    out << "  " << std::left << std::setw(26) << OpCategoryName(category) << std::right
+        << " completed " << std::setw(10) << success << "  max-ttc[ms] " << std::setw(12)
+        << std::fixed << std::setprecision(2) << static_cast<double>(max_nanos) / 1e6
+        << "  failed " << std::setw(8) << failed << "  started " << std::setw(10)
+        << success + failed << "\n";
+  }
+  out << "\n  total throughput:    " << std::fixed << std::setprecision(2)
+      << result.SuccessThroughput() << " op/s successful, " << result.StartedThroughput()
+      << " op/s started\n";
+  out << "  elapsed time [s]:    " << std::setprecision(3) << result.elapsed_seconds << "\n";
+
+  if (runner.strategy().stm() != nullptr) {
+    const StmStats::View& stm = result.stm;
+    out << "\n== STM statistics ==\n";
+    out << "  starts/commits/aborts: " << stm.starts << " / " << stm.commits << " / "
+        << stm.aborts << "\n";
+    out << "  reads/writes:          " << stm.reads << " / " << stm.writes << "\n";
+    out << "  validation steps:      " << stm.validation_steps << "\n";
+    out << "  bytes cloned:          " << stm.bytes_cloned << "\n";
+    out << "  contention kills:      " << stm.kills << "\n";
+  }
+}
+
+void WriteCsv(std::ostream& out, const BenchmarkRunner& runner, const BenchResult& result) {
+  const BenchConfig& config = runner.config();
+  const auto& ops = runner.registry().all();
+
+  out << "# strategy=" << config.strategy << "\n";
+  out << "# scale=" << config.scale << "\n";
+  out << "# workload=" << WorkloadTypeName(config.workload) << "\n";
+  out << "# threads=" << config.threads << "\n";
+  out << "# seed=" << config.seed << "\n";
+  out << "# elapsed_seconds=" << result.elapsed_seconds << "\n";
+  out << "# throughput_success=" << result.SuccessThroughput() << "\n";
+  out << "# throughput_started=" << result.StartedThroughput() << "\n";
+  if (runner.strategy().stm() != nullptr) {
+    out << "# stm_commits=" << result.stm.commits << "\n";
+    out << "# stm_aborts=" << result.stm.aborts << "\n";
+    out << "# stm_validation_steps=" << result.stm.validation_steps << "\n";
+    out << "# stm_bytes_cloned=" << result.stm.bytes_cloned << "\n";
+  }
+  out << "op,category,read_only,ratio,completed,failed,max_ms,mean_ms,p50_ms,p90_ms,p99_ms\n";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (result.ratios[i] == 0.0 && result.per_op[i].started() == 0) {
+      continue;
+    }
+    const OpMetrics& metrics = result.per_op[i];
+    const TtcHistogram& hist = metrics.histogram;
+    out << ops[i]->name() << ',' << OpCategoryName(ops[i]->category()) << ','
+        << (ops[i]->read_only() ? 1 : 0) << ',' << result.ratios[i] << ',' << metrics.success
+        << ',' << metrics.failed << ',' << static_cast<double>(hist.max_nanos()) / 1e6 << ','
+        << hist.MeanMillis() << ',' << hist.QuantileMillis(0.5) << ','
+        << hist.QuantileMillis(0.9) << ',' << hist.QuantileMillis(0.99) << "\n";
+  }
+  out << "TOTAL,,," << 1.0 << ',' << result.total_success << ','
+      << result.total_started - result.total_success << ",,,,,\n";
+}
+
+}  // namespace sb7

@@ -1,0 +1,22 @@
+// Appendix-A report formatting: benchmark parameters, optional TTC
+// histograms, detailed per-operation results, sample errors, and summary.
+
+#ifndef STMBENCH7_SRC_HARNESS_REPORT_H_
+#define STMBENCH7_SRC_HARNESS_REPORT_H_
+
+#include <ostream>
+
+#include "src/harness/driver.h"
+
+namespace sb7 {
+
+void PrintReport(std::ostream& out, const BenchmarkRunner& runner, const BenchResult& result);
+
+// Machine-readable CSV: '#'-prefixed metadata lines, then one row per
+// enabled operation (name, category, read_only, configured ratio, completed,
+// failed, max/mean/p50/p90/p99 latency in ms) and a TOTAL row.
+void WriteCsv(std::ostream& out, const BenchmarkRunner& runner, const BenchResult& result);
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_HARNESS_REPORT_H_

@@ -1,0 +1,144 @@
+#include "src/harness/workload.h"
+
+#include "src/common/diag.h"
+
+namespace sb7 {
+
+WorkloadType WorkloadTypeForName(std::string_view name) {
+  if (name == "w") {
+    return WorkloadType::kWriteDominated;
+  }
+  if (name == "rw") {
+    return WorkloadType::kReadWrite;
+  }
+  return WorkloadType::kReadDominated;
+}
+
+std::string_view WorkloadTypeName(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kReadDominated:
+      return "read-dominated";
+    case WorkloadType::kReadWrite:
+      return "read-write";
+    case WorkloadType::kWriteDominated:
+      return "write-dominated";
+  }
+  return "read-dominated";
+}
+
+double ReadOnlyFraction(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kReadDominated:
+      return 0.9;
+    case WorkloadType::kReadWrite:
+      return 0.6;
+    case WorkloadType::kWriteDominated:
+      return 0.1;
+  }
+  return 0.9;
+}
+
+double CategoryWeight(OpCategory category) {
+  switch (category) {
+    case OpCategory::kLongTraversal:
+      return 5.0;
+    case OpCategory::kShortTraversal:
+      return 40.0;
+    case OpCategory::kShortOperation:
+      return 45.0;
+    case OpCategory::kStructureModification:
+      return 10.0;
+  }
+  return 0.0;
+}
+
+std::vector<double> ComputeOperationRatios(const OperationRegistry& registry, WorkloadType type,
+                                           bool long_traversals_enabled,
+                                           bool structure_mods_enabled,
+                                           const std::set<std::string>& disabled_ops) {
+  return ComputeOperationRatios(registry, ReadOnlyFraction(type), long_traversals_enabled,
+                                structure_mods_enabled, disabled_ops);
+}
+
+std::vector<double> ComputeOperationRatios(const OperationRegistry& registry,
+                                           double read_fraction, bool long_traversals_enabled,
+                                           bool structure_mods_enabled,
+                                           const std::set<std::string>& disabled_ops) {
+  const auto& ops = registry.all();
+  SB7_CHECK(read_fraction >= 0.0 && read_fraction <= 1.0);
+
+  auto enabled = [&](const Operation& op) {
+    if (op.category() == OpCategory::kLongTraversal && !long_traversals_enabled) {
+      return false;
+    }
+    if (op.category() == OpCategory::kStructureModification && !structure_mods_enabled) {
+      return false;
+    }
+    return disabled_ops.count(op.name()) == 0;
+  };
+
+  // Subgroup = (category, read-only flag); each subgroup splits its share
+  // evenly among its enabled members.
+  auto subgroup_size = [&](OpCategory category, bool read_only) {
+    int n = 0;
+    for (const auto& op : ops) {
+      if (op->category() == category && op->read_only() == read_only && enabled(*op)) {
+        ++n;
+      }
+    }
+    return n;
+  };
+
+  std::vector<double> ratios(ops.size(), 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = *ops[i];
+    if (!enabled(op)) {
+      continue;
+    }
+    const int peers = subgroup_size(op.category(), op.read_only());
+    SB7_DCHECK(peers > 0);
+    const double share = op.read_only() ? read_fraction : 1.0 - read_fraction;
+    ratios[i] = CategoryWeight(op.category()) * share / peers;
+    total += ratios[i];
+  }
+  SB7_CHECK(total > 0.0);
+  for (double& ratio : ratios) {
+    ratio /= total;
+  }
+  return ratios;
+}
+
+int SampleOperation(const std::vector<double>& ratios, Rng& rng) {
+  const double pick = rng.NextDouble();
+  double cumulative = 0.0;
+  int last_enabled = -1;
+  for (size_t i = 0; i < ratios.size(); ++i) {
+    if (ratios[i] <= 0.0) {
+      continue;
+    }
+    last_enabled = static_cast<int>(i);
+    cumulative += ratios[i];
+    if (pick < cumulative) {
+      return static_cast<int>(i);
+    }
+  }
+  SB7_CHECK(last_enabled >= 0);
+  return last_enabled;  // floating-point tail
+}
+
+const std::set<std::string>& Figure6DisabledOps() {
+  static const std::set<std::string>* ops = new std::set<std::string>{
+      // Large read sets:
+      "ST5", "OP2", "OP3",
+      // The manual (a single large object):
+      "OP4", "OP5", "OP11",
+      // Writers of the large atomic part indexes:
+      "OP15", "SM1", "SM2",
+      // Whole-subtree modifications (long operations):
+      "SM7", "SM8",
+  };
+  return *ops;
+}
+
+}  // namespace sb7

@@ -1,0 +1,62 @@
+// Workload mixing (§3, Table 2).
+//
+// Operation categories get fixed weights (long traversals 5%, short
+// traversals 40%, short operations 45%, structure modifications 10%); the
+// workload type splits each category's weight between its read-only and
+// update members (90/10, 60/40 or 10/90). Structure modifications are all
+// updates and receive only the write share of their category weight. The
+// resulting per-operation ratios are normalized to sum to one — the paper's
+// "ratios ... combined and adjusted, based on the benchmark parameters".
+// Disabled operations get ratio zero and the rest renormalize.
+
+#ifndef STMBENCH7_SRC_HARNESS_WORKLOAD_H_
+#define STMBENCH7_SRC_HARNESS_WORKLOAD_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ops/operation.h"
+
+namespace sb7 {
+
+enum class WorkloadType { kReadDominated, kReadWrite, kWriteDominated };
+
+// "r" | "rw" | "w" (Appendix A); defaults to read-dominated.
+WorkloadType WorkloadTypeForName(std::string_view name);
+std::string_view WorkloadTypeName(WorkloadType type);
+// Fraction of read-only work: 0.9 / 0.6 / 0.1.
+double ReadOnlyFraction(WorkloadType type);
+
+// Category weights of Table 2 (percent).
+double CategoryWeight(OpCategory category);
+
+// Per-operation selection probabilities, parallel to `registry.all()`.
+// Operations that are disabled (long traversals off, structure modifications
+// off, or named in `disabled_ops`) get probability zero. `read_fraction` is
+// the share of read-only work in each category (the paper's presets are
+// 0.9/0.6/0.1; arbitrary fractions support the "more workloads" exploration
+// §6 calls for).
+std::vector<double> ComputeOperationRatios(const OperationRegistry& registry,
+                                           double read_fraction, bool long_traversals_enabled,
+                                           bool structure_mods_enabled,
+                                           const std::set<std::string>& disabled_ops);
+
+// Preset convenience overload.
+std::vector<double> ComputeOperationRatios(const OperationRegistry& registry, WorkloadType type,
+                                           bool long_traversals_enabled,
+                                           bool structure_mods_enabled,
+                                           const std::set<std::string>& disabled_ops);
+
+// Samples an operation index from `ratios` (which must sum to ~1).
+int SampleOperation(const std::vector<double>& ratios, Rng& rng);
+
+// The operations §5 disables for the Figure 6 experiment: everything that
+// reads very large object sets or writes the manual / the large atomic part
+// index. (Long traversals are disabled via the category flag.)
+const std::set<std::string>& Figure6DisabledOps();
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_HARNESS_WORKLOAD_H_

@@ -1,0 +1,204 @@
+// Long traversals T1–T6 and queries Q6, Q7 (Appendix B.2.1).
+//
+// All originate from OO7 and keep its naming. They go through all assemblies
+// and/or all atomic parts (composite parts are visited once per referencing
+// base assembly, as in OO7's shared design library) and never fail.
+
+#include "src/ops/operation.h"
+#include "src/ops/traversal_helpers.h"
+
+namespace sb7 {
+namespace {
+
+constexpr LockSet kReadStructureParts{
+    .read = LockBit(kLockStructure) | kAllLevelBits | LockBit(kLockCompositeParts) |
+            LockBit(kLockAtomicParts),
+    .write = 0};
+constexpr LockSet kWriteAtomicParts{
+    .read = LockBit(kLockStructure) | kAllLevelBits | LockBit(kLockCompositeParts),
+    .write = LockBit(kLockAtomicParts)};
+constexpr LockSet kReadDocuments{
+    .read = LockBit(kLockStructure) | kAllLevelBits | LockBit(kLockCompositeParts) |
+            LockBit(kLockDocuments),
+    .write = 0};
+constexpr LockSet kWriteDocuments{
+    .read = LockBit(kLockStructure) | kAllLevelBits | LockBit(kLockCompositeParts),
+    .write = LockBit(kLockDocuments)};
+constexpr LockSet kReadAssembliesParts{
+    .read = LockBit(kLockStructure) | kAllLevelBits | LockBit(kLockCompositeParts),
+    .write = 0};
+constexpr LockSet kReadAtomicIndex{
+    .read = LockBit(kLockStructure) | LockBit(kLockAtomicParts), .write = 0};
+
+// What T1/T2*/T3* do at each atomic part.
+enum class AtomUpdate { kNone, kSwapXY, kNudgeDateIndexed };
+
+// T1 family: full DFS down to atomic part graphs.
+//   update_scope: 0 = read-only (T1), 1 = root parts only (T2a/T3a),
+//                 2 = every part (T2b/T3b), 3 = every part, four times
+//                 (T2c/T3c). T6 visits only root parts, read-only.
+class GraphTraversal : public Operation {
+ public:
+  GraphTraversal(std::string name, AtomUpdate update, int update_scope, bool roots_only,
+                 LockSet locks)
+      : Operation(std::move(name), OpCategory::kLongTraversal, update == AtomUpdate::kNone,
+                  locks),
+        update_(update),
+        update_scope_(update_scope),
+        roots_only_(roots_only) {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    (void)rng;
+    int64_t visited = 0;
+    ForEachBaseAssembly(dh.module()->design_root(), [&](BaseAssembly* base) {
+      base->components().ForEach([&](CompositePart* part) {
+        if (roots_only_) {
+          Visit(dh, part->root_part(), /*is_root=*/true);
+          ++visited;
+          return;
+        }
+        AtomicPart* root = part->root_part();
+        visited += TraverseAtomicGraph(
+            root, [&](AtomicPart* atom) { Visit(dh, atom, atom == root); });
+      });
+    });
+    return visited;
+  }
+
+ private:
+  void Visit(DataHolder& dh, AtomicPart* atom, bool is_root) const {
+    const bool update_this = update_ != AtomUpdate::kNone &&
+                             (update_scope_ >= 2 || (update_scope_ == 1 && is_root));
+    if (!update_this) {
+      atom->ReadVisit();
+      return;
+    }
+    const int repeats = update_scope_ == 3 ? 4 : 1;
+    for (int i = 0; i < repeats; ++i) {
+      if (update_ == AtomUpdate::kSwapXY) {
+        atom->SwapXY();
+      } else {
+        UpdateAtomicPartDateIndexed(dh, atom);
+      }
+    }
+  }
+
+  const AtomUpdate update_;
+  const int update_scope_;
+  const bool roots_only_;
+};
+
+// T4 / T5: DFS down to documents; T4 counts 'I', T5 toggles the phrase.
+class DocumentTraversal : public Operation {
+ public:
+  DocumentTraversal(std::string name, bool update, LockSet locks)
+      : Operation(std::move(name), OpCategory::kLongTraversal, !update, locks),
+        update_(update) {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    (void)rng;
+    int64_t total = 0;
+    ForEachBaseAssembly(dh.module()->design_root(), [&](BaseAssembly* base) {
+      base->components().ForEach([&](CompositePart* part) {
+        Document* doc = part->documentation();
+        total += update_ ? doc->TogglePhrase() : doc->CountChar('I');
+      });
+    });
+    return total;
+  }
+
+ private:
+  const bool update_;
+};
+
+// Q6: complex assemblies that are ancestors of a base assembly whose build
+// date is lower than that of one of its composite parts.
+class QuerySix : public Operation {
+ public:
+  QuerySix()
+      : Operation("Q6", OpCategory::kLongTraversal, /*read_only=*/true, kReadAssembliesParts) {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    (void)rng;
+    int64_t matched = 0;
+    MatchSubtree(dh.module()->design_root(), matched);
+    return matched;
+  }
+
+ private:
+  static bool BaseMatches(BaseAssembly* base) {
+    const Date base_date = base->build_date();
+    bool found = false;
+    base->components().ForEach([&](CompositePart* part) {
+      if (part->build_date() > base_date) {
+        found = true;
+        return false;  // stop at the first newer part, per the spec
+      }
+      return true;
+    });
+    return found;
+  }
+
+  // Returns true when the subtree under `assembly` contains a matching base
+  // assembly; counts (and read-visits) every matching complex assembly.
+  static bool MatchSubtree(ComplexAssembly* assembly, int64_t& matched) {
+    bool any = false;
+    assembly->sub_assemblies().ForEach([&](Assembly* child) {
+      if (child->is_base()) {
+        any = BaseMatches(static_cast<BaseAssembly*>(child)) || any;
+      } else {
+        any = MatchSubtree(static_cast<ComplexAssembly*>(child), matched) || any;
+      }
+    });
+    if (any) {
+      assembly->ReadVisit();
+      ++matched;
+    }
+    return any;
+  }
+};
+
+// Q7: scan the whole atomic part id index.
+class QuerySeven : public Operation {
+ public:
+  QuerySeven()
+      : Operation("Q7", OpCategory::kLongTraversal, /*read_only=*/true, kReadAtomicIndex) {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    (void)rng;
+    int64_t visited = 0;
+    dh.atomic_part_id_index().ForEach([&visited](const int64_t&, AtomicPart* const& atom) {
+      atom->ReadVisit();
+      ++visited;
+      return true;
+    });
+    return visited;
+  }
+};
+
+}  // namespace
+
+void AppendLongTraversals(std::vector<std::unique_ptr<Operation>>& out) {
+  out.push_back(std::make_unique<GraphTraversal>("T1", AtomUpdate::kNone, 0, false,
+                                                 kReadStructureParts));
+  out.push_back(
+      std::make_unique<GraphTraversal>("T2a", AtomUpdate::kSwapXY, 1, false, kWriteAtomicParts));
+  out.push_back(
+      std::make_unique<GraphTraversal>("T2b", AtomUpdate::kSwapXY, 2, false, kWriteAtomicParts));
+  out.push_back(
+      std::make_unique<GraphTraversal>("T2c", AtomUpdate::kSwapXY, 3, false, kWriteAtomicParts));
+  out.push_back(std::make_unique<GraphTraversal>("T3a", AtomUpdate::kNudgeDateIndexed, 1, false,
+                                                 kWriteAtomicParts));
+  out.push_back(std::make_unique<GraphTraversal>("T3b", AtomUpdate::kNudgeDateIndexed, 2, false,
+                                                 kWriteAtomicParts));
+  out.push_back(std::make_unique<GraphTraversal>("T3c", AtomUpdate::kNudgeDateIndexed, 3, false,
+                                                 kWriteAtomicParts));
+  out.push_back(std::make_unique<DocumentTraversal>("T4", /*update=*/false, kReadDocuments));
+  out.push_back(std::make_unique<DocumentTraversal>("T5", /*update=*/true, kWriteDocuments));
+  out.push_back(
+      std::make_unique<GraphTraversal>("T6", AtomUpdate::kNone, 0, true, kReadStructureParts));
+  out.push_back(std::make_unique<QuerySix>());
+  out.push_back(std::make_unique<QuerySeven>());
+}
+
+}  // namespace sb7

@@ -1,0 +1,254 @@
+// Short operations OP1–OP15 (Appendix B.2.3): index probes and local
+// neighbourhood visits, read-only and updating variants.
+
+#include "src/ops/operation.h"
+#include "src/ops/traversal_helpers.h"
+
+namespace sb7 {
+namespace {
+
+constexpr LockSet kAtomicRead{.read = LockBit(kLockStructure) | LockBit(kLockAtomicParts),
+                              .write = 0};
+constexpr LockSet kAtomicWrite{.read = LockBit(kLockStructure),
+                               .write = LockBit(kLockAtomicParts)};
+constexpr LockSet kManualRead{.read = LockBit(kLockStructure) | LockBit(kLockManual),
+                              .write = 0};
+constexpr LockSet kManualWrite{.read = LockBit(kLockStructure),
+                               .write = LockBit(kLockManual)};
+constexpr LockSet kComplexRead{.read = LockBit(kLockStructure) | kComplexLevelBits, .write = 0};
+constexpr LockSet kComplexWrite{.read = LockBit(kLockStructure), .write = kComplexLevelBits};
+constexpr LockSet kBaseRead{.read = LockBit(kLockStructure) | LockBit(kLockLevel1) |
+                                    kComplexLevelBits,
+                            .write = 0};
+constexpr LockSet kBaseWrite{.read = LockBit(kLockStructure) | kComplexLevelBits,
+                             .write = LockBit(kLockLevel1)};
+constexpr LockSet kBaseComponentsRead{
+    .read = LockBit(kLockStructure) | LockBit(kLockLevel1) | LockBit(kLockCompositeParts),
+    .write = 0};
+constexpr LockSet kBaseComponentsWrite{
+    .read = LockBit(kLockStructure) | LockBit(kLockLevel1),
+    .write = LockBit(kLockCompositeParts)};
+
+// What an operation does to each atomic part it finds.
+enum class AtomAction { kRead, kSwapXY, kNudgeDateIndexed };
+
+void ApplyAtomAction(DataHolder& dh, AtomicPart* atom, AtomAction action) {
+  switch (action) {
+    case AtomAction::kRead:
+      atom->ReadVisit();
+      break;
+    case AtomAction::kSwapXY:
+      atom->SwapXY();
+      break;
+    case AtomAction::kNudgeDateIndexed:
+      UpdateAtomicPartDateIndexed(dh, atom);
+      break;
+  }
+}
+
+// OP1 / OP9 / OP15 (Q1 in OO7): ten random atomic part id lookups.
+class TenRandomParts : public Operation {
+ public:
+  TenRandomParts(std::string name, AtomAction action)
+      : Operation(std::move(name), OpCategory::kShortOperation, action == AtomAction::kRead,
+                  action == AtomAction::kRead ? kAtomicRead : kAtomicWrite),
+        action_(action) {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    int64_t processed = 0;
+    for (int i = 0; i < 10; ++i) {
+      AtomicPart* atom = dh.atomic_part_id_index().Lookup(RandomId(dh.atomic_part_ids(), rng));
+      if (atom == nullptr) {
+        continue;  // per the spec this lowers the count, it is not a failure
+      }
+      ApplyAtomAction(dh, atom, action_);
+      ++processed;
+    }
+    return processed;
+  }
+
+ private:
+  const AtomAction action_;
+};
+
+// OP2 / OP3 / OP10 (Q2/Q3 in OO7): build-date range scans.
+class DateRangeScan : public Operation {
+ public:
+  DateRangeScan(std::string name, bool young_only, AtomAction action)
+      : Operation(std::move(name), OpCategory::kShortOperation, action == AtomAction::kRead,
+                  action == AtomAction::kRead ? kAtomicRead : kAtomicWrite),
+        young_only_(young_only),
+        action_(action) {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    (void)rng;
+    const Parameters& params = dh.params();
+    const int64_t lo = young_only_ ? params.young_date_lo : params.min_build_date;
+    const int64_t hi = params.max_build_date;
+    // Collect first: the OP10 update path mutates the index being scanned.
+    std::vector<AtomicPart*> found;
+    dh.atomic_part_date_index().Range(
+        DateKeyLowerBound(lo), DateKeyUpperBound(hi),
+        [&found](const int64_t&, AtomicPart* const& atom) {
+          found.push_back(atom);
+          return true;
+        });
+    for (AtomicPart* atom : found) {
+      ApplyAtomAction(dh, atom, action_);
+    }
+    return static_cast<int64_t>(found.size());
+  }
+
+ private:
+  const bool young_only_;
+  const AtomAction action_;
+};
+
+// OP4 / OP5 / OP11 (T8/T9 in OO7 plus the manual update): manual operations.
+class ManualOperation : public Operation {
+ public:
+  enum class Kind { kCountI, kFirstLast, kToggleCase };
+
+  ManualOperation(std::string name, Kind kind)
+      : Operation(std::move(name), OpCategory::kShortOperation, kind != Kind::kToggleCase,
+                  kind == Kind::kToggleCase ? kManualWrite : kManualRead),
+        kind_(kind) {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    (void)rng;
+    Manual* manual = dh.manual();
+    switch (kind_) {
+      case Kind::kCountI:
+        return manual->CountChar('I');
+      case Kind::kFirstLast:
+        return manual->FirstEqualsLast();
+      case Kind::kToggleCase:
+        return manual->ToggleCase();
+    }
+    return 0;
+  }
+
+ private:
+  const Kind kind_;
+};
+
+// OP6 / OP12: random complex assembly, visit/update all its siblings.
+class ComplexSiblings : public Operation {
+ public:
+  ComplexSiblings(std::string name, bool update)
+      : Operation(std::move(name), OpCategory::kShortOperation, !update,
+                  update ? kComplexWrite : kComplexRead),
+        update_(update) {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    ComplexAssembly* assembly =
+        dh.complex_assembly_id_index().Lookup(RandomId(dh.complex_assembly_ids(), rng));
+    if (assembly == nullptr) {
+      throw OperationFailed{};
+    }
+    ComplexAssembly* parent = assembly->super_assembly();
+    if (parent == nullptr) {
+      // The root has no siblings; process just the root itself.
+      Visit(assembly);
+      return 1;
+    }
+    int64_t processed = 0;
+    parent->sub_assemblies().ForEach([&](Assembly* sibling) {
+      Visit(sibling);
+      ++processed;
+    });
+    return processed;
+  }
+
+ private:
+  void Visit(Assembly* assembly) const {
+    if (update_) {
+      assembly->NudgeBuildDate();
+    } else {
+      assembly->ReadVisit();
+    }
+  }
+  const bool update_;
+};
+
+// OP7 / OP13: random base assembly, visit/update all its siblings.
+class BaseSiblings : public Operation {
+ public:
+  BaseSiblings(std::string name, bool update)
+      : Operation(std::move(name), OpCategory::kShortOperation, !update,
+                  update ? kBaseWrite : kBaseRead),
+        update_(update) {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    BaseAssembly* base =
+        dh.base_assembly_id_index().Lookup(RandomId(dh.base_assembly_ids(), rng));
+    if (base == nullptr) {
+      throw OperationFailed{};
+    }
+    int64_t processed = 0;
+    base->super_assembly()->sub_assemblies().ForEach([&](Assembly* sibling) {
+      if (update_) {
+        sibling->NudgeBuildDate();
+      } else {
+        sibling->ReadVisit();
+      }
+      ++processed;
+    });
+    return processed;
+  }
+
+ private:
+  const bool update_;
+};
+
+// OP8 / OP14: random base assembly, visit/update its composite parts.
+class BaseComponents : public Operation {
+ public:
+  BaseComponents(std::string name, bool update)
+      : Operation(std::move(name), OpCategory::kShortOperation, !update,
+                  update ? kBaseComponentsWrite : kBaseComponentsRead),
+        update_(update) {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    BaseAssembly* base =
+        dh.base_assembly_id_index().Lookup(RandomId(dh.base_assembly_ids(), rng));
+    if (base == nullptr) {
+      throw OperationFailed{};
+    }
+    int64_t processed = 0;
+    base->components().ForEach([&](CompositePart* part) {
+      if (update_) {
+        part->NudgeBuildDate();
+      } else {
+        part->ReadVisit();
+      }
+      ++processed;
+    });
+    return processed;
+  }
+
+ private:
+  const bool update_;
+};
+
+}  // namespace
+
+void AppendShortOperations(std::vector<std::unique_ptr<Operation>>& out) {
+  out.push_back(std::make_unique<TenRandomParts>("OP1", AtomAction::kRead));
+  out.push_back(std::make_unique<DateRangeScan>("OP2", /*young_only=*/true, AtomAction::kRead));
+  out.push_back(std::make_unique<DateRangeScan>("OP3", /*young_only=*/false, AtomAction::kRead));
+  out.push_back(std::make_unique<ManualOperation>("OP4", ManualOperation::Kind::kCountI));
+  out.push_back(std::make_unique<ManualOperation>("OP5", ManualOperation::Kind::kFirstLast));
+  out.push_back(std::make_unique<ComplexSiblings>("OP6", /*update=*/false));
+  out.push_back(std::make_unique<BaseSiblings>("OP7", /*update=*/false));
+  out.push_back(std::make_unique<BaseComponents>("OP8", /*update=*/false));
+  out.push_back(std::make_unique<TenRandomParts>("OP9", AtomAction::kSwapXY));
+  out.push_back(std::make_unique<DateRangeScan>("OP10", /*young_only=*/true, AtomAction::kSwapXY));
+  out.push_back(std::make_unique<ManualOperation>("OP11", ManualOperation::Kind::kToggleCase));
+  out.push_back(std::make_unique<ComplexSiblings>("OP12", /*update=*/true));
+  out.push_back(std::make_unique<BaseSiblings>("OP13", /*update=*/true));
+  out.push_back(std::make_unique<BaseComponents>("OP14", /*update=*/true));
+  out.push_back(std::make_unique<TenRandomParts>("OP15", AtomAction::kNudgeDateIndexed));
+}
+
+}  // namespace sb7

@@ -1,0 +1,187 @@
+// Structure modifications SM1–SM8 (Appendix B.2.4).
+//
+// Under the medium-grained strategy these hold only the structure lock, in
+// write mode — it excludes every other operation (all of which hold it in
+// read mode), which is exactly the paper's design: "an additional read-write
+// lock isolates structure modification operations", and "indexes, sets and
+// bags do not have to be synchronized separately in this case".
+//
+// Preconditions (pool availability, only-child rules) are checked before any
+// mutation, so a failing operation leaves no partial state even under the
+// locking strategies, which have no rollback.
+
+#include "src/core/builder.h"
+#include "src/ops/operation.h"
+#include "src/ops/traversal_helpers.h"
+
+namespace sb7 {
+namespace {
+
+constexpr LockSet kStructureWrite{.read = 0, .write = LockBit(kLockStructure)};
+
+class SmOperation : public Operation {
+ public:
+  explicit SmOperation(std::string name)
+      : Operation(std::move(name), OpCategory::kStructureModification, /*read_only=*/false,
+                  kStructureWrite) {}
+};
+
+// SM1: create an unlinked composite part in the design library.
+class CreatePart : public SmOperation {
+ public:
+  CreatePart() : SmOperation("SM1") {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    if (!CanCreateCompositePart(dh)) {
+      throw OperationFailed{};
+    }
+    return CreateCompositePart(dh, rng)->id();
+  }
+};
+
+// SM2: delete a random composite part with its document and graph.
+class DeletePart : public SmOperation {
+ public:
+  DeletePart() : SmOperation("SM2") {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    CompositePart* part =
+        dh.composite_part_id_index().Lookup(RandomId(dh.composite_part_ids(), rng));
+    if (part == nullptr) {
+      throw OperationFailed{};
+    }
+    DeleteCompositePart(dh, part);
+    return 1;
+  }
+};
+
+// SM3: link a random base assembly to a random composite part.
+class CreateLink : public SmOperation {
+ public:
+  CreateLink() : SmOperation("SM3") {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    BaseAssembly* base =
+        dh.base_assembly_id_index().Lookup(RandomId(dh.base_assembly_ids(), rng));
+    CompositePart* part =
+        dh.composite_part_id_index().Lookup(RandomId(dh.composite_part_ids(), rng));
+    if (base == nullptr || part == nullptr) {
+      throw OperationFailed{};
+    }
+    base->components().Add(part);
+    part->used_in().Add(base);
+    return 1;
+  }
+};
+
+// SM4: remove a random link of a random base assembly.
+class DeleteLink : public SmOperation {
+ public:
+  DeleteLink() : SmOperation("SM4") {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    BaseAssembly* base =
+        dh.base_assembly_id_index().Lookup(RandomId(dh.base_assembly_ids(), rng));
+    if (base == nullptr) {
+      throw OperationFailed{};
+    }
+    const int64_t n = base->components().Size();
+    if (n == 0) {
+      throw OperationFailed{};
+    }
+    CompositePart* part = base->components().Get(static_cast<int64_t>(rng.NextBounded(n)));
+    base->components().RemoveOne(part);
+    part->used_in().RemoveOne(base);
+    return 1;
+  }
+};
+
+// SM5: create a sibling of a random base assembly.
+class CreateBase : public SmOperation {
+ public:
+  CreateBase() : SmOperation("SM5") {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    BaseAssembly* base =
+        dh.base_assembly_id_index().Lookup(RandomId(dh.base_assembly_ids(), rng));
+    if (base == nullptr || !CanCreateBaseAssembly(dh)) {
+      throw OperationFailed{};
+    }
+    return CreateBaseAssembly(dh, base->super_assembly(), rng)->id();
+  }
+};
+
+// SM6: delete a random base assembly, unless it is the only child.
+class DeleteBase : public SmOperation {
+ public:
+  DeleteBase() : SmOperation("SM6") {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    BaseAssembly* base =
+        dh.base_assembly_id_index().Lookup(RandomId(dh.base_assembly_ids(), rng));
+    if (base == nullptr) {
+      throw OperationFailed{};
+    }
+    if (base->super_assembly()->sub_assemblies().Size() <= 1) {
+      throw OperationFailed{};
+    }
+    DeleteBaseAssembly(dh, base);
+    return 1;
+  }
+};
+
+// SM7: add a full assembly subtree under a random complex assembly.
+class CreateSubtree : public SmOperation {
+ public:
+  CreateSubtree() : SmOperation("SM7") {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    ComplexAssembly* assembly =
+        dh.complex_assembly_id_index().Lookup(RandomId(dh.complex_assembly_ids(), rng));
+    if (assembly == nullptr) {
+      throw OperationFailed{};
+    }
+    const int root_level = assembly->level() - 1;  // subtree height k - 1
+    if (root_level < 1 || !CanCreateSubtree(dh, root_level)) {
+      throw OperationFailed{};
+    }
+    CreateAssemblySubtree(dh, assembly, root_level, rng);
+    const auto [complexes, bases] = SubtreeNodeCounts(dh.params(), root_level);
+    return complexes + bases;
+  }
+};
+
+// SM8: delete the whole subtree of a random complex assembly.
+class DeleteSubtree : public SmOperation {
+ public:
+  DeleteSubtree() : SmOperation("SM8") {}
+
+  int64_t Run(DataHolder& dh, Rng& rng) const override {
+    ComplexAssembly* assembly =
+        dh.complex_assembly_id_index().Lookup(RandomId(dh.complex_assembly_ids(), rng));
+    if (assembly == nullptr) {
+      throw OperationFailed{};
+    }
+    ComplexAssembly* parent = assembly->super_assembly();
+    if (parent == nullptr || parent->sub_assemblies().Size() <= 1) {
+      throw OperationFailed{};
+    }
+    DeleteAssemblySubtree(dh, assembly);
+    return 1;
+  }
+};
+
+}  // namespace
+
+void AppendStructureModifications(std::vector<std::unique_ptr<Operation>>& out) {
+  out.push_back(std::make_unique<CreatePart>());
+  out.push_back(std::make_unique<DeletePart>());
+  out.push_back(std::make_unique<CreateLink>());
+  out.push_back(std::make_unique<DeleteLink>());
+  out.push_back(std::make_unique<CreateBase>());
+  out.push_back(std::make_unique<DeleteBase>());
+  out.push_back(std::make_unique<CreateSubtree>());
+  out.push_back(std::make_unique<DeleteSubtree>());
+}
+
+}  // namespace sb7

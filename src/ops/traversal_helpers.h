@@ -1,0 +1,67 @@
+// Shared traversal building blocks for the operation implementations.
+
+#ifndef STMBENCH7_SRC_OPS_TRAVERSAL_HELPERS_H_
+#define STMBENCH7_SRC_OPS_TRAVERSAL_HELPERS_H_
+
+#include <unordered_set>
+
+#include "src/core/data_holder.h"
+#include "src/core/objects.h"
+
+namespace sb7 {
+
+// Depth-first walk over the assembly tree, applying `fn` to every base
+// assembly. Children are read transactionally through the Tx collections.
+template <typename Fn>
+void ForEachBaseAssembly(ComplexAssembly* root, Fn&& fn) {
+  root->sub_assemblies().ForEach([&fn](Assembly* child) {
+    if (child->is_base()) {
+      fn(static_cast<BaseAssembly*>(child));
+    } else {
+      ForEachBaseAssembly(static_cast<ComplexAssembly*>(child), fn);
+    }
+  });
+}
+
+// Depth-first walk over an atomic-part graph via outgoing connections,
+// starting at `root`; `fn` is applied to each part exactly once. Returns the
+// number of parts visited. The graph shape is immutable (only attributes are
+// mutable), so the visited set is plain local state.
+template <typename Fn>
+int64_t TraverseAtomicGraph(AtomicPart* root, Fn&& fn) {
+  std::unordered_set<AtomicPart*> seen;
+  std::vector<AtomicPart*> stack{root};
+  seen.insert(root);
+  int64_t visited = 0;
+  while (!stack.empty()) {
+    AtomicPart* part = stack.back();
+    stack.pop_back();
+    fn(part);
+    ++visited;
+    for (Connection* conn : part->outgoing()) {
+      if (seen.insert(conn->to()).second) {
+        stack.push_back(conn->to());
+      }
+    }
+  }
+  return visited;
+}
+
+// Updates an atomic part's *indexed* build date (T3a/b/c, OP15): the date
+// index must track the change, mirroring how the original benchmark updates
+// the index inside the operation.
+inline void UpdateAtomicPartDateIndexed(DataHolder& dh, AtomicPart* part) {
+  dh.atomic_part_date_index().Remove(MakeDateKey(part->build_date(), part->id()));
+  part->NudgeBuildDate();
+  dh.atomic_part_date_index().Insert(MakeDateKey(part->build_date(), part->id()), part);
+}
+
+// Uniformly random id in [1, pool.capacity()] — the benchmark's designed
+// failure source: the id may currently be unassigned.
+inline int64_t RandomId(const IdPool& pool, Rng& rng) {
+  return 1 + static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(pool.capacity())));
+}
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_OPS_TRAVERSAL_HELPERS_H_

@@ -1,0 +1,211 @@
+#include "src/stm/astm.h"
+
+#include "src/common/diag.h"
+
+namespace sb7 {
+
+AstmStm::AstmStm(std::unique_ptr<ContentionManager> cm) : cm_(std::move(cm)) {
+  if (!cm_) {
+    cm_ = MakePolkaManager();
+  }
+}
+
+std::unique_ptr<TxImplBase> AstmStm::CreateTx() {
+  return std::make_unique<AstmTx>(stats(), *cm_);
+}
+
+void AstmTx::BeginAttempt() {
+  status_.store(AstmStatus::kActive, std::memory_order_release);
+  read_map_.clear();
+  write_map_.clear();
+  write_order_.clear();
+  local_reads_ = local_writes_ = local_validation_steps_ = local_bytes_cloned_ = 0;
+}
+
+void AstmTx::FlushLocalStats() {
+  stats_.reads.fetch_add(local_reads_, std::memory_order_relaxed);
+  stats_.writes.fetch_add(local_writes_, std::memory_order_relaxed);
+  stats_.validation_steps.fetch_add(local_validation_steps_, std::memory_order_relaxed);
+  stats_.bytes_cloned.fetch_add(local_bytes_cloned_, std::memory_order_relaxed);
+}
+
+void AstmTx::CheckAlive() const {
+  if (status_.load(std::memory_order_acquire) == AstmStatus::kAborted) {
+    throw TxAborted{};
+  }
+}
+
+bool AstmTx::ValidateReadList() {
+  // Full scan: this is the O(k) step that, executed on every new read-open,
+  // yields the O(k^2) behaviour characteristic of invisible-read STMs.
+  local_validation_steps_ += static_cast<int64_t>(read_map_.size());
+  for (const auto& [unit, version] : read_map_) {
+    if (unit->astm_version.load(std::memory_order_acquire) != version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AstmTx::HandleConflict(AstmTx& owner, int& retries) {
+  if (owner.status() != AstmStatus::kActive) {
+    // The owner is committing or cleaning up; it will release shortly.
+    Backoff::Pause(++retries);
+    return;
+  }
+  switch (cm_->OnConflict(*this, owner, retries)) {
+    case ContentionManager::Action::kAbortSelf:
+      throw TxAborted{};
+    case ContentionManager::Action::kAbortOther:
+      if (owner.RequestAbort()) {
+        stats_.kills.fetch_add(1, std::memory_order_relaxed);
+      }
+      Backoff::Pause(++retries);  // wait for the kill to take effect
+      return;
+    case ContentionManager::Action::kRetry:
+      Backoff::Pause(++retries);
+      return;
+  }
+}
+
+uint64_t AstmTx::OpenRead(const TmUnit& unit) {
+  if (auto it = read_map_.find(&unit); it != read_map_.end()) {
+    return it->second;
+  }
+  int retries = 0;
+  uint64_t version;
+  while (true) {
+    CheckAlive();
+    version = unit.astm_version.load(std::memory_order_acquire);
+    if ((version & 1) != 0) {
+      // A committed writer is flushing its image; wait it out.
+      Backoff::Pause(++retries);
+      continue;
+    }
+    AstmTx* owner = unit.astm_owner.load(std::memory_order_acquire);
+    if (owner != nullptr && owner != this) {
+      // Read-after-write conflict (DSTM/ASTM semantics): arbitrate.
+      HandleConflict(*owner, retries);
+      continue;
+    }
+    break;
+  }
+  if (!ValidateReadList()) {
+    throw TxAborted{};
+  }
+  read_map_.emplace(&unit, version);
+  return version;
+}
+
+uint64_t AstmTx::Read(const TxFieldBase& field) {
+  CheckAlive();
+  ++local_reads_;
+  const TmUnit& unit = field.owner();
+  if (!write_map_.empty()) {
+    if (auto it = write_map_.find(const_cast<TmUnit*>(&unit)); it != write_map_.end()) {
+      return it->second.words[field.index_in_unit()];
+    }
+  }
+  const uint64_t recorded = OpenRead(unit);
+  const uint64_t value = field.LoadRaw(std::memory_order_acquire);
+  // Post-validation: a writer may have committed and flushed between the
+  // open and the load; the seqlock-style version detects both the bump and
+  // the odd (mid-flush) state.
+  if (unit.astm_version.load(std::memory_order_acquire) != recorded) {
+    throw TxAborted{};
+  }
+  return value;
+}
+
+AstmTx::WriteImage& AstmTx::OpenWrite(TmUnit& unit) {
+  int retries = 0;
+  while (true) {
+    CheckAlive();
+    AstmTx* owner = unit.astm_owner.load(std::memory_order_acquire);
+    if (owner == nullptr) {
+      if (unit.astm_owner.compare_exchange_strong(owner, this, std::memory_order_acq_rel)) {
+        break;
+      }
+      continue;
+    }
+    SB7_DCHECK(owner != this);  // write_map_ hit would have short-circuited
+    HandleConflict(*owner, retries);
+  }
+  // Ownership acquired; the previous owner (if any) finished its flush before
+  // releasing, so the version is stable and even. Clone the whole object:
+  // every field word plus any out-of-line payload. This is object-level
+  // logging — the cost is proportional to the object, not to the write.
+  WriteImage image;
+  const auto& fields = unit.fields();
+  image.words.reserve(fields.size());
+  for (const TxFieldBase* f : fields) {
+    image.words.push_back(f->LoadRaw(std::memory_order_acquire));
+  }
+  local_bytes_cloned_ += static_cast<int64_t>(fields.size() * sizeof(uint64_t));
+  if (const TmUnit::PayloadSource& source = unit.payload_source()) {
+    const std::string_view payload = source();
+    image.payload_clone.assign(payload.data(), payload.size());
+    local_bytes_cloned_ += static_cast<int64_t>(payload.size());
+  }
+  write_order_.push_back(&unit);
+  return write_map_.emplace(&unit, std::move(image)).first->second;
+}
+
+void AstmTx::Write(TxFieldBase& field, uint64_t value) {
+  CheckAlive();
+  ++local_writes_;
+  TmUnit& unit = field.owner();
+  auto it = write_map_.find(&unit);
+  if (it == write_map_.end()) {
+    WriteImage& image = OpenWrite(unit);
+    image.words[field.index_in_unit()] = value;
+    return;
+  }
+  it->second.words[field.index_in_unit()] = value;
+}
+
+bool AstmTx::TryCommit() {
+  if (!ValidateReadList()) {
+    AbortSelf();
+    return false;
+  }
+  AstmStatus expected = AstmStatus::kActive;
+  if (!status_.compare_exchange_strong(expected, AstmStatus::kCommitted,
+                                       std::memory_order_acq_rel)) {
+    AbortSelf();  // a contention manager killed this transaction
+    return false;
+  }
+  // Commit point passed: flush redo images. The per-object seqlock goes odd
+  // during the flush so concurrent readers never consume torn states.
+  for (TmUnit* unit : write_order_) {
+    const WriteImage& image = write_map_[unit];
+    unit->astm_version.fetch_add(1, std::memory_order_acq_rel);
+    const auto& fields = unit->fields();
+    for (size_t i = 0; i < fields.size(); ++i) {
+      fields[i]->StoreRaw(image.words[i], std::memory_order_release);
+    }
+    unit->astm_version.fetch_add(1, std::memory_order_acq_rel);
+    unit->astm_owner.store(nullptr, std::memory_order_release);
+  }
+  FlushLocalStats();
+  RunCommitHooks();
+  return true;
+}
+
+void AstmTx::ReleaseOwnerships() {
+  // No writeback happened (abort path), so versions stay untouched.
+  for (TmUnit* unit : write_order_) {
+    unit->astm_owner.store(nullptr, std::memory_order_release);
+  }
+  write_order_.clear();
+  write_map_.clear();
+}
+
+void AstmTx::AbortSelf() {
+  status_.store(AstmStatus::kAborted, std::memory_order_release);
+  ReleaseOwnerships();
+  FlushLocalStats();
+  RunAbortHooks();
+}
+
+}  // namespace sb7

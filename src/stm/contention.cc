@@ -1,0 +1,86 @@
+#include "src/stm/contention.h"
+
+#include "src/stm/astm.h"
+
+namespace sb7 {
+namespace {
+
+class PolkaManager : public ContentionManager {
+ public:
+  std::string_view name() const override { return "polka"; }
+
+  Action OnConflict(const AstmTx& me, const AstmTx& other, int retries) override {
+    (void)me;
+    // Give the enemy one backoff interval per unit of its priority (its open
+    // count); once exhausted, kill it. This is Polka's "karma with randomized
+    // exponential backoff" — the randomized backoff itself is supplied by
+    // Backoff::Pause in the caller.
+    if (retries > other.Priority()) {
+      return Action::kAbortOther;
+    }
+    return Action::kRetry;
+  }
+};
+
+class KarmaManager : public ContentionManager {
+ public:
+  std::string_view name() const override { return "karma"; }
+
+  Action OnConflict(const AstmTx& me, const AstmTx& other, int retries) override {
+    if (me.Priority() + retries > other.Priority()) {
+      return Action::kAbortOther;
+    }
+    return Action::kRetry;
+  }
+};
+
+class AggressiveManager : public ContentionManager {
+ public:
+  std::string_view name() const override { return "aggressive"; }
+
+  Action OnConflict(const AstmTx& me, const AstmTx& other, int retries) override {
+    (void)me;
+    (void)other;
+    (void)retries;
+    return Action::kAbortOther;
+  }
+};
+
+class TimidManager : public ContentionManager {
+ public:
+  std::string_view name() const override { return "timid"; }
+
+  Action OnConflict(const AstmTx& me, const AstmTx& other, int retries) override {
+    (void)me;
+    (void)other;
+    (void)retries;
+    return Action::kAbortSelf;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ContentionManager> MakePolkaManager() { return std::make_unique<PolkaManager>(); }
+std::unique_ptr<ContentionManager> MakeKarmaManager() { return std::make_unique<KarmaManager>(); }
+std::unique_ptr<ContentionManager> MakeAggressiveManager() {
+  return std::make_unique<AggressiveManager>();
+}
+std::unique_ptr<ContentionManager> MakeTimidManager() { return std::make_unique<TimidManager>(); }
+
+std::unique_ptr<ContentionManager> MakeContentionManager(std::string_view name) {
+  if (name == "polka") {
+    return MakePolkaManager();
+  }
+  if (name == "karma") {
+    return MakeKarmaManager();
+  }
+  if (name == "aggressive") {
+    return MakeAggressiveManager();
+  }
+  if (name == "timid") {
+    return MakeTimidManager();
+  }
+  return nullptr;
+}
+
+}  // namespace sb7

@@ -1,0 +1,57 @@
+// Contention managers for the object-granular (ASTM-like) STM.
+//
+// When a transaction finds the object it wants to acquire owned by another
+// active transaction, the contention manager arbitrates: wait and retry,
+// abort the other transaction, or abort self. The paper's §5 evaluation uses
+// the Polka manager shipped with ASTM; the alternatives here feed the
+// contention-manager ablation bench (bench/ablation_cm).
+
+#ifndef STMBENCH7_SRC_STM_CONTENTION_H_
+#define STMBENCH7_SRC_STM_CONTENTION_H_
+
+#include <memory>
+#include <string_view>
+
+namespace sb7 {
+
+class AstmTx;
+
+class ContentionManager {
+ public:
+  enum class Action {
+    kRetry,       // back off and retry the acquisition
+    kAbortOther,  // kill the current owner
+    kAbortSelf,   // abort the acquiring transaction
+  };
+
+  virtual ~ContentionManager() = default;
+  virtual std::string_view name() const = 0;
+
+  // `retries` counts consecutive failed acquisitions of the same object by
+  // `me`. Implementations must be stateless or internally synchronized: one
+  // instance arbitrates for all threads.
+  virtual Action OnConflict(const AstmTx& me, const AstmTx& other, int retries) = 0;
+};
+
+// Polka (Scherer & Scott): back off a number of times proportional to the
+// enemy's priority (its open-object count); once the enemy has been given
+// that many chances, kill it. Favors transactions with large investments.
+std::unique_ptr<ContentionManager> MakePolkaManager();
+
+// Karma: kill the enemy once own priority plus retries exceeds the enemy's
+// priority; otherwise wait.
+std::unique_ptr<ContentionManager> MakeKarmaManager();
+
+// Aggressive: always kill the enemy.
+std::unique_ptr<ContentionManager> MakeAggressiveManager();
+
+// Timid: always abort self.
+std::unique_ptr<ContentionManager> MakeTimidManager();
+
+// Factory by name ("polka", "karma", "aggressive", "timid"); returns nullptr
+// for unknown names.
+std::unique_ptr<ContentionManager> MakeContentionManager(std::string_view name);
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_STM_CONTENTION_H_

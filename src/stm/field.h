@@ -1,0 +1,273 @@
+// Transactional field and object model.
+//
+// This header defines the seam between the benchmark's data structure and the
+// concurrency-control strategies, playing the role AspectJ weaving plays in
+// the original Java benchmark:
+//
+//   * `TxField<T>` — a mutable shared field. Get/Set consult the thread-local
+//     current transaction. With no transaction installed (the coarse- and
+//     medium-grained locking strategies), accesses compile down to plain
+//     acquire/release atomics; with a transaction installed they are routed
+//     through the STM.
+//   * `TmUnit` — the per-object header: a registry of the object's fields
+//     plus the metadata the object-granular (ASTM-like) STM needs. Word-based
+//     STMs ignore it.
+//   * `Transaction` — the interface every STM implements.
+//
+// The core benchmark code therefore contains no concurrency control at all;
+// strategies are injected orthogonally, as §4 of the paper requires.
+
+#ifndef STMBENCH7_SRC_STM_FIELD_H_
+#define STMBENCH7_SRC_STM_FIELD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/diag.h"
+#include "src/ebr/ebr.h"
+
+namespace sb7 {
+
+class TxFieldBase;
+class AstmTx;
+
+// Thrown by STM read/write/commit paths to unwind an aborted transaction back
+// to the retry loop. Never escapes Stm::RunAtomically.
+struct TxAborted {};
+
+// Per-object transactional header. Fields register themselves here at
+// construction time; construction is always thread-private (objects become
+// shared only when a committed transaction links them into the structure), so
+// registration needs no synchronization.
+class TmUnit {
+ public:
+  TmUnit() = default;
+  TmUnit(const TmUnit&) = delete;
+  TmUnit& operator=(const TmUnit&) = delete;
+
+  // Returns the field's index within this unit (its slot in ASTM images).
+  size_t RegisterField(TxFieldBase* field) {
+    fields_.push_back(field);
+    return fields_.size() - 1;
+  }
+  const std::vector<TxFieldBase*>& fields() const { return fields_; }
+
+  // Large out-of-line payload (document text, index snapshot). The ASTM-like
+  // STM clones it on write-open, reproducing object-granularity logging cost.
+  using PayloadSource = std::function<std::string_view()>;
+  void set_payload_source(PayloadSource source) { payload_source_ = std::move(source); }
+  const PayloadSource& payload_source() const { return payload_source_; }
+
+  // --- metadata owned by the ASTM-like STM ---
+  std::atomic<AstmTx*> astm_owner{nullptr};
+  std::atomic<uint64_t> astm_version{0};
+
+  // --- lock-coverage chain (used by the fine-grained locking strategy) ---
+  // Each unit is covered by a lockable ancestor: an atomic part or document
+  // by its composite part, a collection chunk by its collection's owner.
+  // Cover() resolves the chain to the covering root. Default: self.
+  void set_cover(TmUnit* cover) { cover_ = cover; }
+  // Topology units (collection internals: links, bags, children sets) are
+  // written only by structure-modification operations, which the fine
+  // strategy serializes via the structure lock; reads of topology therefore
+  // need no per-object lock. Used by the fine strategy's audit mode.
+  void set_topology(bool topology) { topology_ = topology; }
+  bool topology() const { return topology_; }
+  TmUnit* Cover() {
+    TmUnit* unit = this;
+    while (unit->cover_ != unit) {
+      unit = unit->cover_;
+    }
+    return unit;
+  }
+  const TmUnit* Cover() const { return const_cast<TmUnit*>(this)->Cover(); }
+
+ private:
+  std::vector<TxFieldBase*> fields_;
+  PayloadSource payload_source_;
+  TmUnit* cover_ = this;
+  bool topology_ = false;
+};
+
+// Base class for shared benchmark objects: owns the TmUnit.
+class TmObject {
+ public:
+  TmObject() = default;
+  TmObject(const TmObject&) = delete;
+  TmObject& operator=(const TmObject&) = delete;
+  virtual ~TmObject() = default;
+
+  TmUnit& unit() { return unit_; }
+  const TmUnit& unit() const { return unit_; }
+
+ private:
+  TmUnit unit_;
+};
+
+// STM interface. One instance per in-flight transaction.
+class Transaction {
+ public:
+  virtual ~Transaction() = default;
+
+  // Transactional load/store of one 64-bit word.
+  virtual uint64_t Read(const TxFieldBase& field) = 0;
+  virtual void Write(TxFieldBase& field, uint64_t value) = 0;
+
+  // Deferred actions. Commit hooks run exactly once, after the commit point
+  // (used to retire replaced payloads and unlinked nodes through EBR); abort
+  // hooks run on every abort (used to free allocations that never became
+  // shared). Hooks must not touch transactional state.
+  void OnCommit(std::function<void()> hook) { commit_hooks_.push_back(std::move(hook)); }
+  void OnAbort(std::function<void()> hook) { abort_hooks_.push_back(std::move(hook)); }
+
+ protected:
+  void RunCommitHooks() {
+    for (auto& hook : commit_hooks_) {
+      hook();
+    }
+    commit_hooks_.clear();
+    abort_hooks_.clear();
+  }
+  void RunAbortHooks() {
+    for (auto& hook : abort_hooks_) {
+      hook();
+    }
+    commit_hooks_.clear();
+    abort_hooks_.clear();
+  }
+
+  std::vector<std::function<void()>> commit_hooks_;
+  std::vector<std::function<void()>> abort_hooks_;
+};
+
+// Thread-local current transaction; null outside transactions (lock modes).
+inline thread_local Transaction* tls_current_tx = nullptr;
+
+inline Transaction* CurrentTx() { return tls_current_tx; }
+inline void SetCurrentTx(Transaction* tx) { tls_current_tx = tx; }
+
+// Untyped shared word. The word doubles as the in-place value for every STM
+// flavour; per-location versioning lives in the global striped lock table
+// (word STMs) or in the owning TmUnit (object STM).
+class TxFieldBase {
+ public:
+  TxFieldBase(TmUnit& owner, uint64_t initial) : word_(initial), owner_(&owner) {
+    index_in_unit_ = owner.RegisterField(this);
+  }
+  TxFieldBase(const TxFieldBase&) = delete;
+  TxFieldBase& operator=(const TxFieldBase&) = delete;
+
+  TmUnit& owner() const { return *owner_; }
+  size_t index_in_unit() const { return index_in_unit_; }
+
+  // Raw access, used by the STM implementations and by the lock-mode fall-
+  // through. Not for use by benchmark code.
+  uint64_t LoadRaw(std::memory_order order = std::memory_order_acquire) const {
+    return word_.load(order);
+  }
+  void StoreRaw(uint64_t value, std::memory_order order = std::memory_order_release) {
+    word_.store(value, order);
+  }
+
+ private:
+  std::atomic<uint64_t> word_;
+  TmUnit* owner_;
+  size_t index_in_unit_ = 0;
+};
+
+namespace internal {
+
+template <typename T>
+uint64_t EncodeWord(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "TxField requires a trivially copyable type of at most 8 bytes");
+  uint64_t word = 0;
+  std::memcpy(&word, &value, sizeof(T));
+  return word;
+}
+
+template <typename T>
+T DecodeWord(uint64_t word) {
+  T value;
+  std::memcpy(&value, &word, sizeof(T));
+  return value;
+}
+
+}  // namespace internal
+
+// Typed shared field.
+template <typename T>
+class TxField : public TxFieldBase {
+ public:
+  TxField(TmUnit& owner, const T& initial) : TxFieldBase(owner, internal::EncodeWord(initial)) {}
+
+  T Get() const {
+    if (Transaction* tx = CurrentTx()) {
+      return internal::DecodeWord<T>(tx->Read(*this));
+    }
+    return internal::DecodeWord<T>(LoadRaw());
+  }
+
+  void Set(const T& value) {
+    if (Transaction* tx = CurrentTx()) {
+      tx->Write(*this, internal::EncodeWord(value));
+    } else {
+      StoreRaw(internal::EncodeWord(value));
+    }
+  }
+};
+
+// Mutable text payload (documents, the manual). The body is an immutable
+// heap string; updates allocate a replacement and swap the pointer, retiring
+// the old body through EBR once no thread can still be reading it. This gives
+// word-based STMs a single logical location for the whole text, while the
+// object-granular STM additionally pays the whole-body clone on write-open
+// via the owning unit's payload source — exactly the "large object" pathology
+// §5 analyses.
+class TxText {
+ public:
+  TxText(TmUnit& owner, std::string initial)
+      : field_(owner, new std::string(std::move(initial))) {
+    owner.set_payload_source([this] { return std::string_view(*PeekRaw()); });
+  }
+
+  ~TxText() {
+    // The final body is owned by the field; safe to free directly here
+    // because destruction implies exclusivity.
+    delete field_.Get();
+  }
+
+  // Returns the current body. The reference stays valid for the duration of
+  // the enclosing operation (EBR defers frees past the next quiescence).
+  const std::string& Get() const { return *field_.Get(); }
+
+  void Set(std::string text) {
+    auto* fresh = new std::string(std::move(text));
+    const std::string* old = field_.Get();
+    field_.Set(fresh);
+    if (Transaction* tx = CurrentTx()) {
+      tx->OnCommit([old] { EbrDomain::Global().RetireObject(old); });
+      tx->OnAbort([fresh] { delete fresh; });
+    } else {
+      EbrDomain::Global().RetireObject(old);
+    }
+  }
+
+ private:
+  // Non-transactional peek used only by the ASTM payload-clone cost model.
+  const std::string* PeekRaw() const {
+    return internal::DecodeWord<const std::string*>(field_.LoadRaw());
+  }
+
+  TxField<const std::string*> field_;
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_STM_FIELD_H_

@@ -1,0 +1,12 @@
+#include "src/stm/lock_table.h"
+
+namespace sb7 {
+
+std::atomic<uint64_t> LockTable::clock_{1};
+
+LockTable& LockTable::Global() {
+  static LockTable* table = new LockTable();  // immortal: 8 MiB of stripes
+  return *table;
+}
+
+}  // namespace sb7

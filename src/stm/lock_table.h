@@ -1,0 +1,59 @@
+// Striped versioned-lock table shared by the word-based STMs.
+//
+// Each shared word hashes to one of 2^20 stripes. A stripe word encodes
+// either an unlocked version number (value << 1) or a locked state holding
+// the owning transaction's pointer with the low bit set (transaction objects
+// are at least 8-byte aligned, so the low bit is free). Versions are drawn
+// from a single global version clock, as in TL2; TinySTM shares the table and
+// the clock — only one STM flavour is active per benchmark run, and version
+// monotonicity keeps mixed use in tests safe.
+
+#ifndef STMBENCH7_SRC_STM_LOCK_TABLE_H_
+#define STMBENCH7_SRC_STM_LOCK_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/stm/field.h"
+
+namespace sb7 {
+
+class LockTable {
+ public:
+  static constexpr size_t kStripeBits = 20;
+  static constexpr size_t kStripes = size_t{1} << kStripeBits;
+
+  static LockTable& Global();
+
+  std::atomic<uint64_t>& StripeOf(const TxFieldBase& field) {
+    auto addr = reinterpret_cast<uintptr_t>(&field);
+    // Fibonacci hash of the field address; fields are >= 8-byte objects.
+    const uint64_t h = (static_cast<uint64_t>(addr) >> 3) * 0x9e3779b97f4a7c15ull;
+    return stripes_[h >> (64 - kStripeBits)];
+  }
+
+  // --- encoding helpers ---
+  static bool IsLocked(uint64_t word) { return (word & 1) != 0; }
+  static uint64_t VersionOf(uint64_t word) { return word >> 1; }
+  static uint64_t MakeVersion(uint64_t version) { return version << 1; }
+  static uint64_t MakeLocked(const void* owner) {
+    return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(owner)) | 1;
+  }
+  static const void* OwnerOf(uint64_t word) {
+    return reinterpret_cast<const void*>(static_cast<uintptr_t>(word & ~uint64_t{1}));
+  }
+
+  // Global version clock (TL2's "global version number").
+  static uint64_t ClockNow() { return clock_.load(std::memory_order_acquire); }
+  static uint64_t ClockAdvance() { return clock_.fetch_add(1, std::memory_order_acq_rel) + 1; }
+
+ private:
+  LockTable() = default;
+
+  static std::atomic<uint64_t> clock_;
+  std::atomic<uint64_t> stripes_[kStripes] = {};
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_STM_LOCK_TABLE_H_

@@ -1,0 +1,97 @@
+#include "src/stm/stm.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace sb7 {
+namespace {
+
+std::atomic<uint64_t> g_stm_instance_counter{1};
+
+// Cache of transaction objects, keyed by STM instance id so that a recreated
+// Stm at a recycled address cannot pick up a stale implementation.
+struct TxCacheEntry {
+  uint64_t instance_id;
+  std::unique_ptr<TxImplBase> tx;
+};
+
+thread_local std::vector<TxCacheEntry> tls_tx_cache;
+
+Rng& BackoffRng() {
+  thread_local Rng rng(0x9bc0ffeeull ^
+                       std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  return rng;
+}
+
+}  // namespace
+
+void Backoff::Pause(int attempt) {
+  if (attempt <= 0) {
+    return;
+  }
+  if (attempt < 3) {
+    // Brief spin: the conflicting commit is usually a few instructions away.
+    const int spins = 1 << (4 + attempt);
+    for (int i = 0; i < spins; ++i) {
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+    }
+    return;
+  }
+  if (attempt < 10) {
+    std::this_thread::yield();
+    return;
+  }
+  // Exponential sleep with jitter, capped at 1 ms.
+  const int exp = attempt < 20 ? attempt - 10 : 10;
+  const uint64_t cap = std::min<uint64_t>(1000, 1ull << exp);
+  const uint64_t micros = 1 + BackoffRng().NextBounded(cap);
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+Stm::Stm() : instance_id_(g_stm_instance_counter.fetch_add(1, std::memory_order_relaxed)) {}
+
+TxImplBase& Stm::LocalTx() {
+  for (auto& entry : tls_tx_cache) {
+    if (entry.instance_id == instance_id_) {
+      return *entry.tx;
+    }
+  }
+  tls_tx_cache.push_back(TxCacheEntry{instance_id_, CreateTx()});
+  return *tls_tx_cache.back().tx;
+}
+
+void Stm::RunAtomically(const std::function<void(Transaction&)>& body) {
+  TxImplBase& tx = LocalTx();
+  stats_.starts.fetch_add(1, std::memory_order_relaxed);
+  for (int attempt = 0;; ++attempt) {
+    Backoff::Pause(attempt);
+    tx.BeginAttempt();
+    SetCurrentTx(&tx);
+    try {
+      body(tx);
+      SetCurrentTx(nullptr);
+      if (tx.TryCommit()) {
+        stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    } catch (const TxAborted&) {
+      SetCurrentTx(nullptr);
+      tx.AbortSelf();
+    } catch (...) {
+      // Operation-level failure: commit what was read so the failure is based
+      // on a consistent snapshot, then propagate it.
+      SetCurrentTx(nullptr);
+      if (tx.TryCommit()) {
+        stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        throw;
+      }
+    }
+    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sb7

@@ -1,0 +1,105 @@
+// STM runtime interface: statistics, the retry loop, and backoff.
+//
+// Every STM flavour (TL2, TinySTM, ASTM-like) provides a TxImplBase and is
+// driven by the shared Stm::RunAtomically retry loop. The loop implements the
+// benchmark's failure semantics (§3 of the paper): an exception other than
+// TxAborted thrown by the body is an *operation failure*, which is a committed
+// outcome — the loop attempts to commit the reads performed so far and, only
+// if that commit validates, lets the exception propagate. A failure observed
+// by a transaction that cannot commit was based on an inconsistent snapshot
+// and is retried instead.
+
+#ifndef STMBENCH7_SRC_STM_STM_H_
+#define STMBENCH7_SRC_STM_STM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "src/stm/field.h"
+
+namespace sb7 {
+
+// Aggregate counters, written by transactions at commit/abort boundaries.
+struct StmStats {
+  std::atomic<int64_t> starts{0};
+  std::atomic<int64_t> commits{0};
+  std::atomic<int64_t> aborts{0};
+  std::atomic<int64_t> reads{0};
+  std::atomic<int64_t> writes{0};
+  // Read-set entries re-checked during incremental validation; the O(k^2)
+  // signature of invisible-read STMs shows up here.
+  std::atomic<int64_t> validation_steps{0};
+  // Bytes copied by object-granular write-open cloning (ASTM only).
+  std::atomic<int64_t> bytes_cloned{0};
+  // Transactions aborted by a contention manager on behalf of another.
+  std::atomic<int64_t> kills{0};
+
+  struct View {
+    int64_t starts, commits, aborts, reads, writes, validation_steps, bytes_cloned, kills;
+  };
+  View Snapshot() const {
+    return View{starts.load(),          commits.load(), aborts.load(),
+                reads.load(),           writes.load(),  validation_steps.load(),
+                bytes_cloned.load(),    kills.load()};
+  }
+  void Reset() {
+    starts = commits = aborts = reads = writes = 0;
+    validation_steps = bytes_cloned = kills = 0;
+  }
+};
+
+// Per-attempt transaction implementation. The retry loop owns the life cycle:
+// BeginAttempt -> body -> (TryCommit | AbortSelf). After TryCommit() returns
+// false or AbortSelf() returns, all transaction-held resources (stripe locks,
+// object ownerships, undo state) have been released.
+class TxImplBase : public Transaction {
+ public:
+  virtual void BeginAttempt() = 0;
+  // Returns true iff the transaction committed; on false the attempt has been
+  // fully rolled back and abort hooks have run.
+  virtual bool TryCommit() = 0;
+  // Rolls back the attempt (used when the body threw TxAborted).
+  virtual void AbortSelf() = 0;
+};
+
+// Exponential backoff with jitter. On this benchmark's single-core hosts the
+// key property is yielding the CPU so the conflicting transaction can finish.
+class Backoff {
+ public:
+  static void Pause(int attempt);
+};
+
+class Stm {
+ public:
+  Stm();
+  virtual ~Stm() = default;
+  Stm(const Stm&) = delete;
+  Stm& operator=(const Stm&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  // Executes `body` atomically, retrying on conflicts. Exceptions other than
+  // TxAborted propagate once the enclosing transaction commits (see above).
+  void RunAtomically(const std::function<void(Transaction&)>& body);
+
+  StmStats& stats() { return stats_; }
+  const StmStats& stats() const { return stats_; }
+
+ protected:
+  // One implementation object is cached per (thread, Stm instance) and reused
+  // across attempts and operations.
+  virtual std::unique_ptr<TxImplBase> CreateTx() = 0;
+
+ private:
+  TxImplBase& LocalTx();
+
+  uint64_t instance_id_;
+  StmStats stats_;
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_STM_STM_H_

@@ -1,0 +1,30 @@
+#include "src/stm/stm_factory.h"
+
+#include "src/stm/astm.h"
+#include "src/stm/norec.h"
+#include "src/stm/tinystm.h"
+#include "src/stm/tl2.h"
+
+namespace sb7 {
+
+std::unique_ptr<Stm> MakeStm(std::string_view name, std::string_view contention_manager) {
+  if (name == "tl2") {
+    return std::make_unique<Tl2Stm>();
+  }
+  if (name == "tinystm") {
+    return std::make_unique<TinyStm>();
+  }
+  if (name == "norec") {
+    return std::make_unique<NorecStm>();
+  }
+  if (name == "astm") {
+    auto cm = MakeContentionManager(contention_manager);
+    if (!cm) {
+      return nullptr;
+    }
+    return std::make_unique<AstmStm>(std::move(cm));
+  }
+  return nullptr;
+}
+
+}  // namespace sb7

@@ -1,0 +1,20 @@
+// Construction of STM instances by name, used by the CLI and the benches.
+
+#ifndef STMBENCH7_SRC_STM_STM_FACTORY_H_
+#define STMBENCH7_SRC_STM_STM_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/stm/stm.h"
+
+namespace sb7 {
+
+// `name` is one of "tl2", "tinystm", "norec", "astm". For "astm", `contention_manager`
+// selects the arbiter ("polka", "karma", "aggressive", "timid"). Returns
+// nullptr for unknown names.
+std::unique_ptr<Stm> MakeStm(std::string_view name, std::string_view contention_manager = "polka");
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_STM_STM_FACTORY_H_

@@ -1,0 +1,141 @@
+#include "src/stm/tinystm.h"
+
+#include "src/common/diag.h"
+
+namespace sb7 {
+
+std::unique_ptr<TxImplBase> TinyStm::CreateTx() { return std::make_unique<TinyTx>(stats()); }
+
+void TinyTx::BeginAttempt() {
+  rv_ = LockTable::ClockNow();
+  read_set_.clear();
+  undo_log_.clear();
+  owned_.clear();
+  owned_lookup_.clear();
+  local_reads_ = local_writes_ = local_validation_steps_ = 0;
+}
+
+void TinyTx::FlushLocalStats() {
+  stats_.reads.fetch_add(local_reads_, std::memory_order_relaxed);
+  stats_.writes.fetch_add(local_writes_, std::memory_order_relaxed);
+  stats_.validation_steps.fetch_add(local_validation_steps_, std::memory_order_relaxed);
+}
+
+bool TinyTx::ValidateReadSet() const {
+  local_validation_steps_ += static_cast<int64_t>(read_set_.size());
+  for (const ReadEntry& entry : read_set_) {
+    const uint64_t word = entry.stripe->load(std::memory_order_acquire);
+    if (word == entry.observed) {
+      continue;
+    }
+    // The word changed since the read. The only benign change is this
+    // transaction itself locking the stripe for writing afterwards.
+    if (LockTable::IsLocked(word) && LockTable::OwnerOf(word) == this) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool TinyTx::ExtendSnapshot(uint64_t now) {
+  if (!ValidateReadSet()) {
+    return false;
+  }
+  rv_ = now;
+  return true;
+}
+
+uint64_t TinyTx::Read(const TxFieldBase& field) {
+  ++local_reads_;
+  std::atomic<uint64_t>& stripe = LockTable::Global().StripeOf(field);
+  while (true) {
+    const uint64_t pre = stripe.load(std::memory_order_acquire);
+    if (LockTable::IsLocked(pre)) {
+      if (LockTable::OwnerOf(pre) == this) {
+        // In-place write-through: memory already holds this transaction's
+        // value.
+        return field.LoadRaw(std::memory_order_acquire);
+      }
+      throw TxAborted{};  // owned by a concurrent writer
+    }
+    const uint64_t value = field.LoadRaw(std::memory_order_acquire);
+    const uint64_t post = stripe.load(std::memory_order_acquire);
+    if (post != pre) {
+      continue;  // raced with a commit; re-read
+    }
+    if (LockTable::VersionOf(pre) > rv_ && !ExtendSnapshot(LockTable::ClockNow())) {
+      throw TxAborted{};
+    }
+    read_set_.push_back(ReadEntry{&stripe, pre});
+    return value;
+  }
+}
+
+void TinyTx::Write(TxFieldBase& field, uint64_t value) {
+  ++local_writes_;
+  std::atomic<uint64_t>& stripe = LockTable::Global().StripeOf(field);
+  if (!OwnsStripe(&stripe)) {
+    uint64_t word = stripe.load(std::memory_order_acquire);
+    if (LockTable::IsLocked(word)) {
+      // Either a concurrent writer owns it, or this transaction does (which
+      // OwnsStripe already ruled out).
+      throw TxAborted{};
+    }
+    if (LockTable::VersionOf(word) > rv_ && !ExtendSnapshot(LockTable::ClockNow())) {
+      throw TxAborted{};
+    }
+    if (!stripe.compare_exchange_strong(word, LockTable::MakeLocked(this),
+                                        std::memory_order_acq_rel)) {
+      throw TxAborted{};
+    }
+    owned_.push_back(OwnedStripe{&stripe, word});
+    owned_lookup_.insert(&stripe);
+  }
+  undo_log_.push_back(UndoEntry{&field, field.LoadRaw(std::memory_order_acquire)});
+  field.StoreRaw(value, std::memory_order_release);
+}
+
+bool TinyTx::TryCommit() {
+  if (owned_.empty()) {
+    FlushLocalStats();
+    RunCommitHooks();
+    return true;
+  }
+  const uint64_t wv = LockTable::ClockAdvance();
+  if (wv != rv_ + 1 && !ValidateReadSet()) {
+    RollbackAndRelease();
+    FlushLocalStats();
+    RunAbortHooks();
+    return false;
+  }
+  for (const OwnedStripe& held : owned_) {
+    held.stripe->store(LockTable::MakeVersion(wv), std::memory_order_release);
+  }
+  owned_.clear();
+  owned_lookup_.clear();
+  FlushLocalStats();
+  RunCommitHooks();
+  return true;
+}
+
+void TinyTx::RollbackAndRelease() {
+  // Undo in reverse so repeated writes to a field restore the original.
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    it->field->StoreRaw(it->old_value, std::memory_order_release);
+  }
+  undo_log_.clear();
+  for (const OwnedStripe& held : owned_) {
+    held.stripe->store(held.pre_lock_word, std::memory_order_release);
+  }
+  owned_.clear();
+  owned_lookup_.clear();
+}
+
+void TinyTx::AbortSelf() {
+  RollbackAndRelease();
+  FlushLocalStats();
+  RunAbortHooks();
+}
+
+}  // namespace sb7

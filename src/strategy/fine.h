@@ -1,0 +1,104 @@
+// Fine-grained locking strategy — the paper's "future work" baseline.
+//
+// §4 sketches the design and its difficulty: "there is a need for each
+// operation to build a list of objects it wants to access, sort the list and
+// then acquire locks in the right order to avoid deadlocks". This strategy
+// implements exactly that, made sound by three observations:
+//
+//  1. *Topology is stable for non-SM operations.* Structure-modification
+//     operations hold the structure lock in write mode and everything else
+//     holds it in read mode (as in the medium strategy), so links, bags and
+//     children sets cannot change while a non-SM operation plans or runs.
+//  2. *Plans are replayable.* Every random choice flows from the operation's
+//     RNG; planning runs on a **copy** of the RNG, so the real execution
+//     makes identical choices and touches exactly the planned objects. Plans
+//     never read mutable attributes — operations whose object set depends on
+//     attribute values (date predicates: Q6, ST5, OP2/3/10, and the whole-
+//     structure traversals) use conservative superset plans instead.
+//  3. *Lockable units are bounded.* Locks live at the granularity the paper
+//     deems sensible — composite parts (covering their atomic parts and
+//     document), assemblies, and the manual ("it would probably make no
+//     sense to protect each atomic part with a single lock"). Objects map to
+//     a striped array of RW locks through their TmUnit's coverage chain;
+//     stripes are acquired in index order, making the strategy deadlock-free
+//     by total order. The build-date index is the one index with non-SM
+//     writers (T3*, OP15) and gets its own lock, ordered before the stripes.
+//
+// An *audit mode* (used by tests) installs a pass-through Transaction that
+// checks every field access against the plan, turning any planner bug into
+// an immediate failure instead of a latent race.
+
+#ifndef STMBENCH7_SRC_STRATEGY_FINE_H_
+#define STMBENCH7_SRC_STRATEGY_FINE_H_
+
+#include <unordered_map>
+
+#include "src/strategy/strategy.h"
+
+namespace sb7 {
+
+// The object set an operation will touch, with access modes. Keys are
+// coverage-root TmUnits (see TmUnit::Cover()).
+class FinePlan {
+ public:
+  enum class Mode { kNone, kRead, kWrite };
+
+  void AddRead(const TmUnit& unit) { Merge(&unit, /*write=*/false); }
+  void AddWrite(const TmUnit& unit) { Merge(&unit, /*write=*/true); }
+  void AddRead(const TmObject& object) { AddRead(object.unit()); }
+  void AddWrite(const TmObject& object) { AddWrite(object.unit()); }
+
+  void set_date_index_mode(Mode mode) { date_index_mode_ = mode; }
+  Mode date_index_mode() const { return date_index_mode_; }
+
+  const std::unordered_map<const TmUnit*, bool>& objects() const { return objects_; }
+
+  // Access check used by audit mode: is `unit`'s coverage root planned, in a
+  // sufficient mode?
+  bool Covers(const TmUnit& unit, bool write) const {
+    auto it = objects_.find(unit.Cover());
+    if (it == objects_.end()) {
+      return false;
+    }
+    return !write || it->second;
+  }
+
+ private:
+  void Merge(const TmUnit* unit, bool write) {
+    auto [it, inserted] = objects_.try_emplace(unit->Cover(), write);
+    if (!inserted) {
+      it->second = it->second || write;
+    }
+  }
+
+  std::unordered_map<const TmUnit*, bool> objects_;
+  Mode date_index_mode_ = Mode::kNone;
+};
+
+// Computes the plan for `op`. `rng` must be a copy of the stream the real
+// execution will consume. Returns false for structure modifications (which
+// run under the exclusive structure lock and need no plan).
+bool PlanFineLocks(const Operation& op, DataHolder& dh, Rng rng, FinePlan& plan);
+
+class FineLockStrategy : public SyncStrategy {
+ public:
+  static constexpr int kStripes = 1024;
+
+  std::string_view name() const override { return "fine"; }
+  int64_t Execute(const Operation& op, DataHolder& dh, Rng& rng) override;
+
+  // Tests only: verify every field access against the plan while executing.
+  void set_audit_mode(bool audit) { audit_mode_ = audit; }
+
+ private:
+  static int StripeOf(const TmUnit* unit);
+
+  RwLock structure_lock_;
+  RwLock date_index_lock_;
+  RwLock stripes_[kStripes];
+  bool audit_mode_ = false;
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_STRATEGY_FINE_H_

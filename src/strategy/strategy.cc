@@ -1,0 +1,85 @@
+#include "src/strategy/strategy.h"
+
+#include "src/stm/stm_factory.h"
+#include "src/strategy/fine.h"
+
+namespace sb7 {
+
+int64_t CoarseLockStrategy::Execute(const Operation& op, DataHolder& dh, Rng& rng) {
+  if (op.read_only()) {
+    ReadGuard guard(lock_);
+    return op.Run(dh, rng);
+  }
+  WriteGuard guard(lock_);
+  return op.Run(dh, rng);
+}
+
+int64_t MediumLockStrategy::Execute(const Operation& op, DataHolder& dh, Rng& rng) {
+  const LockSet& set = op.locks();
+  // Acquire in global LockId order; write wins when both bits are set.
+  for (int id = 0; id < kLockCount; ++id) {
+    const uint16_t bit = static_cast<uint16_t>(1u << id);
+    if (set.write & bit) {
+      locks_[id].LockWrite();
+    } else if (set.read & bit) {
+      locks_[id].LockRead();
+    }
+  }
+  struct Releaser {
+    MediumLockStrategy* strategy;
+    const LockSet& locks;
+    ~Releaser() {
+      for (int id = kLockCount - 1; id >= 0; --id) {
+        const uint16_t bit = static_cast<uint16_t>(1u << id);
+        if (locks.write & bit) {
+          strategy->locks_[id].UnlockWrite();
+        } else if (locks.read & bit) {
+          strategy->locks_[id].UnlockRead();
+        }
+      }
+    }
+  } releaser{this, set};
+  return op.Run(dh, rng);
+}
+
+StmStrategy::StmStrategy(std::unique_ptr<Stm> stm) : stm_(std::move(stm)) {
+  SB7_CHECK(stm_ != nullptr);
+}
+
+int64_t StmStrategy::Execute(const Operation& op, DataHolder& dh, Rng& rng) {
+  int64_t result = 0;
+  // OperationFailed thrown by the body propagates out of RunAtomically only
+  // after the enclosing transaction commits (see Stm::RunAtomically).
+  stm_->RunAtomically([&](Transaction&) { result = op.Run(dh, rng); });
+  return result;
+}
+
+std::unique_ptr<SyncStrategy> MakeStrategy(std::string_view name,
+                                           std::string_view contention_manager) {
+  if (name == "coarse") {
+    return std::make_unique<CoarseLockStrategy>();
+  }
+  if (name == "medium") {
+    return std::make_unique<MediumLockStrategy>();
+  }
+  if (name == "fine") {
+    return std::make_unique<FineLockStrategy>();
+  }
+  auto stm = MakeStm(name, contention_manager);
+  if (stm != nullptr) {
+    return std::make_unique<StmStrategy>(std::move(stm));
+  }
+  return nullptr;
+}
+
+IndexKind DefaultIndexKindFor(std::string_view strategy_name) {
+  if (strategy_name == "coarse" || strategy_name == "medium" || strategy_name == "fine") {
+    return IndexKind::kStdMap;
+  }
+  if (strategy_name == "astm") {
+    return IndexKind::kSnapshot;
+  }
+  return IndexKind::kSkipList;
+}
+
+}  // namespace sb7

@@ -1,0 +1,90 @@
+// Synchronization strategies (§4 of the paper).
+//
+// A strategy makes one operation execution atomic:
+//   * coarse  — a single global read-write lock (read mode for read-only
+//               operations, write mode otherwise);
+//   * medium  — the paper's Figure-5 design: one read-write lock per assembly
+//               level, one each for composite parts, atomic parts, documents
+//               and the manual, plus a structure-modification lock taken in
+//               write mode by SM operations and read mode by everything else.
+//               Locks are acquired in a fixed global order (LockId order), so
+//               the strategy is deadlock-free by construction;
+//   * stm     — one flat transaction per operation, over any Stm flavour.
+//
+// The failure semantics are uniform: OperationFailed propagates to the
+// caller as a committed outcome under every strategy.
+
+#ifndef STMBENCH7_SRC_STRATEGY_STRATEGY_H_
+#define STMBENCH7_SRC_STRATEGY_STRATEGY_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/ops/operation.h"
+#include "src/stm/stm.h"
+#include "src/sync/rwlock.h"
+
+namespace sb7 {
+
+class SyncStrategy {
+ public:
+  virtual ~SyncStrategy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Executes `op` atomically; returns the operation's result value. Throws
+  // OperationFailed when the operation failed (a committed outcome).
+  virtual int64_t Execute(const Operation& op, DataHolder& dh, Rng& rng) = 0;
+
+  // Non-null for STM strategies; used by reports to surface STM statistics.
+  virtual Stm* stm() { return nullptr; }
+};
+
+class CoarseLockStrategy : public SyncStrategy {
+ public:
+  std::string_view name() const override { return "coarse"; }
+  int64_t Execute(const Operation& op, DataHolder& dh, Rng& rng) override;
+
+  RwLock& lock() { return lock_; }
+
+ private:
+  RwLock lock_;
+};
+
+class MediumLockStrategy : public SyncStrategy {
+ public:
+  std::string_view name() const override { return "medium"; }
+  int64_t Execute(const Operation& op, DataHolder& dh, Rng& rng) override;
+
+  RwLock& lock(LockId id) { return locks_[id]; }
+
+ private:
+  RwLock locks_[kLockCount];
+};
+
+class StmStrategy : public SyncStrategy {
+ public:
+  explicit StmStrategy(std::unique_ptr<Stm> stm);
+
+  std::string_view name() const override { return stm_->name(); }
+  int64_t Execute(const Operation& op, DataHolder& dh, Rng& rng) override;
+  Stm* stm() override { return stm_.get(); }
+
+ private:
+  std::unique_ptr<Stm> stm_;
+};
+
+// "coarse" | "medium" | "tl2" | "tinystm" | "astm"; nullptr for unknown
+// names. `contention_manager` applies to "astm" only.
+std::unique_ptr<SyncStrategy> MakeStrategy(std::string_view name,
+                                           std::string_view contention_manager = "polka");
+
+// The index implementation each strategy uses by default: std::map under
+// locks (the java.util analogue), the naive single-object snapshot under the
+// ASTM port (§5's configuration), node-granular skip lists under the word
+// STMs.
+IndexKind DefaultIndexKindFor(std::string_view strategy_name);
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_STRATEGY_STRATEGY_H_

@@ -1,0 +1,42 @@
+#include "src/sync/rwlock.h"
+
+#include "src/common/diag.h"
+
+namespace sb7 {
+
+void RwLock::LockRead() {
+  std::unique_lock<std::mutex> lock(mu_);
+  readers_cv_.wait(lock, [this] { return !writer_active_ && waiting_writers_ == 0; });
+  ++active_readers_;
+  ++read_acquisitions_;
+}
+
+void RwLock::UnlockRead() {
+  std::unique_lock<std::mutex> lock(mu_);
+  SB7_DCHECK(active_readers_ > 0);
+  if (--active_readers_ == 0 && waiting_writers_ > 0) {
+    writers_cv_.notify_one();
+  }
+}
+
+void RwLock::LockWrite() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++waiting_writers_;
+  writers_cv_.wait(lock, [this] { return !writer_active_ && active_readers_ == 0; });
+  --waiting_writers_;
+  writer_active_ = true;
+  ++write_acquisitions_;
+}
+
+void RwLock::UnlockWrite() {
+  std::unique_lock<std::mutex> lock(mu_);
+  SB7_DCHECK(writer_active_);
+  writer_active_ = false;
+  if (waiting_writers_ > 0) {
+    writers_cv_.notify_one();
+  } else {
+    readers_cv_.notify_all();
+  }
+}
+
+}  // namespace sb7

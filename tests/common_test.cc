@@ -1,0 +1,211 @@
+// Unit tests for src/common: RNG, histogram, text helpers, timing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/text.h"
+#include "src/common/timing.h"
+
+namespace sb7 {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t value = rng.NextInRange(-2, 2);
+    EXPECT_GE(value, -2);
+    EXPECT_LE(value, 2);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(17);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.NextBounded(kBuckets)]++;
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Split();
+  // Parent jumped 2^128 states; streams must differ.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (parent.Next() == child.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(31);
+  Rng b(31);
+  Rng child_a = a.Split();
+  Rng child_b = b.Split();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child_a.Next(), child_b.Next());
+  }
+}
+
+TEST(HistogramTest, RecordsCountsAndMax) {
+  TtcHistogram hist;
+  hist.Record(1'500'000);   // 1.5 ms -> bucket 1
+  hist.Record(1'700'000);   // bucket 1
+  hist.Record(42'000'000);  // bucket 42
+  EXPECT_EQ(hist.total_count(), 3);
+  EXPECT_EQ(hist.max_nanos(), 42'000'000);
+  EXPECT_EQ(hist.Format(), "1,2 42,1");
+}
+
+TEST(HistogramTest, OverflowBucketsCoverLargeLatencies) {
+  TtcHistogram hist(10);
+  hist.Record(9'000'000);        // 9 ms, linear
+  hist.Record(15'000'000);       // 15 ms -> [10, 20)
+  hist.Record(25'000'000);       // 25 ms -> [20, 40)
+  hist.Record(3'600'000'000'000);  // one hour
+  EXPECT_EQ(hist.total_count(), 4);
+  EXPECT_EQ(hist.max_nanos(), 3'600'000'000'000);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  TtcHistogram a;
+  TtcHistogram b;
+  a.Record(2'000'000);
+  b.Record(2'200'000);
+  b.Record(700'000'000);
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), 3);
+  EXPECT_EQ(a.max_nanos(), 700'000'000);
+  EXPECT_EQ(a.Format(), "2,2 700,1");
+}
+
+TEST(HistogramTest, QuantilesAreMonotone) {
+  TtcHistogram hist;
+  for (int ms = 0; ms < 100; ++ms) {
+    hist.Record(static_cast<int64_t>(ms) * 1'000'000);
+  }
+  EXPECT_LE(hist.QuantileMillis(0.5), hist.QuantileMillis(0.9));
+  EXPECT_LE(hist.QuantileMillis(0.9), hist.QuantileMillis(1.0));
+  EXPECT_NEAR(hist.QuantileMillis(0.5), 49.0, 2.0);
+}
+
+TEST(HistogramTest, MeanMatchesData) {
+  TtcHistogram hist;
+  hist.Record(10'000'000);
+  hist.Record(30'000'000);
+  EXPECT_DOUBLE_EQ(hist.MeanMillis(), 20.0);
+}
+
+TEST(TextTest, CountChar) {
+  EXPECT_EQ(CountChar("", 'I'), 0);
+  EXPECT_EQ(CountChar("III", 'I'), 3);
+  EXPECT_EQ(CountChar("I am the manual. I am.", 'I'), 2);
+}
+
+TEST(TextTest, CountOccurrences) {
+  EXPECT_EQ(CountOccurrences("I am I am I am", "I am"), 3);
+  EXPECT_EQ(CountOccurrences("aaaa", "aa"), 2);  // non-overlapping
+  EXPECT_EQ(CountOccurrences("abc", "xyz"), 0);
+}
+
+TEST(TextTest, ReplaceAllSwapsPhrases) {
+  auto [text, count] = ReplaceAll("I am here. I am there.", "I am", "This is");
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(text, "This is here. This is there.");
+  auto [back, count2] = ReplaceAll(text, "This is", "I am");
+  EXPECT_EQ(count2, 2);
+  EXPECT_EQ(back, "I am here. I am there.");
+}
+
+TEST(TextTest, ReplaceAllNoMatch) {
+  auto [text, count] = ReplaceAll("nothing here", "I am", "This is");
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(text, "nothing here");
+}
+
+TEST(TextTest, ReplaceChar) {
+  auto [text, count] = ReplaceChar("III i", 'I', 'i');
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(text, "iii i");
+}
+
+TEST(TextTest, DocumentTextHasPhraseAndSize) {
+  const std::string text = BuildDocumentText(17, 2000);
+  EXPECT_GE(text.size(), 2000u);
+  EXPECT_GT(CountOccurrences(text, "I am"), 0);
+  EXPECT_NE(text.find("#17"), std::string::npos);
+}
+
+TEST(TextTest, ManualTextStartsWithI) {
+  const std::string text = BuildManualText(1, 1000);
+  EXPECT_GE(text.size(), 1000u);
+  EXPECT_EQ(text.front(), 'I');
+  EXPECT_GT(CountChar(text, 'I'), 0);
+}
+
+TEST(TimingTest, StopwatchAdvances) {
+  Stopwatch watch;
+  volatile int64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink += i;
+  }
+  EXPECT_GE(watch.ElapsedNanos(), 0);
+  EXPECT_GE(NowNanos(), 0);
+}
+
+}  // namespace
+}  // namespace sb7

@@ -1,0 +1,336 @@
+// Tests for TxVector/TxSet/TxBag and the three Index implementations,
+// including parameterized sweeps across index kinds and STM-concurrent
+// index stress.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "src/containers/skiplist_index.h"
+#include "src/containers/snapshot_index.h"
+#include "src/containers/std_map_index.h"
+#include "src/containers/txvector.h"
+#include "src/stm/stm_factory.h"
+
+namespace sb7 {
+namespace {
+
+TEST(TxVectorTest, PushGetSetSize) {
+  TxVector<int64_t> vec;
+  EXPECT_TRUE(vec.Empty());
+  for (int64_t i = 0; i < 100; ++i) {
+    vec.PushBack(i * 10);
+  }
+  EXPECT_EQ(vec.Size(), 100);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(vec.Get(i), i * 10);
+  }
+  vec.Set(5, -1);
+  EXPECT_EQ(vec.Get(5), -1);
+}
+
+TEST(TxVectorTest, GrowPreservesContents) {
+  TxVector<int64_t> vec(/*initial_capacity=*/2);
+  for (int64_t i = 0; i < 1000; ++i) {
+    vec.PushBack(i);
+  }
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(vec.Get(i), i);
+  }
+  EbrDomain::Global().DrainAll();  // retired chunks
+}
+
+TEST(TxVectorTest, RemoveAtSwapsLastIn) {
+  TxVector<int64_t> vec;
+  for (int64_t i = 0; i < 5; ++i) {
+    vec.PushBack(i);
+  }
+  vec.RemoveAt(1);
+  EXPECT_EQ(vec.Size(), 4);
+  EXPECT_EQ(vec.Get(1), 4);  // last element swapped into the hole
+  EXPECT_FALSE(vec.Contains(1));
+}
+
+TEST(TxVectorTest, RemoveFirstAndCount) {
+  TxVector<int64_t> vec;
+  vec.PushBack(7);
+  vec.PushBack(8);
+  vec.PushBack(7);
+  EXPECT_EQ(vec.Count(7), 2);
+  EXPECT_TRUE(vec.RemoveFirst(7));
+  EXPECT_EQ(vec.Count(7), 1);
+  EXPECT_TRUE(vec.RemoveFirst(7));
+  EXPECT_FALSE(vec.RemoveFirst(7));
+  EXPECT_EQ(vec.Size(), 1);
+}
+
+TEST(TxVectorTest, ForEachEarlyStop) {
+  TxVector<int64_t> vec;
+  for (int64_t i = 0; i < 10; ++i) {
+    vec.PushBack(i);
+  }
+  int64_t visited = 0;
+  vec.ForEach([&](int64_t value) {
+    ++visited;
+    return value < 4;  // stop after seeing 4
+  });
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(TxVectorTest, ClearResetsSize) {
+  TxVector<int64_t> vec;
+  vec.PushBack(1);
+  vec.PushBack(2);
+  vec.Clear();
+  EXPECT_TRUE(vec.Empty());
+  vec.PushBack(9);
+  EXPECT_EQ(vec.Get(0), 9);
+}
+
+TEST(TxVectorTest, TransactionalGrowRollsBackOnAbort) {
+  auto stm = MakeStm("tl2");
+  TxVector<int64_t> vec(/*initial_capacity=*/2);
+  vec.PushBack(1);
+  vec.PushBack(2);
+  struct Bail {};
+  // Abort after a grow: size and contents must be untouched, and the fresh
+  // chunk must be freed (abort hook).
+  EXPECT_THROW(stm->RunAtomically([&](Transaction& tx) {
+                 vec.PushBack(3);  // triggers grow 2 -> 4
+                 // Simulate an op that fails but cannot commit: force a real
+                 // abort by throwing TxAborted through the body exactly once.
+                 static thread_local bool first = true;
+                 if (first) {
+                   first = false;
+                   throw TxAborted{};
+                 }
+                 (void)tx;
+                 throw Bail{};  // commit-and-propagate on the retry
+               }),
+               Bail);
+  // After the aborted first attempt and the committed retry, contents hold.
+  EXPECT_EQ(vec.Size(), 3);
+  EXPECT_EQ(vec.Get(2), 3);
+}
+
+TEST(TxSetTest, AddIsUnique) {
+  TxSet<int64_t> set;
+  EXPECT_TRUE(set.Add(1));
+  EXPECT_FALSE(set.Add(1));
+  EXPECT_TRUE(set.Add(2));
+  EXPECT_EQ(set.Size(), 2);
+  EXPECT_TRUE(set.Remove(1));
+  EXPECT_FALSE(set.Contains(1));
+}
+
+TEST(TxBagTest, AllowsDuplicates) {
+  TxBag<int64_t> bag;
+  bag.Add(5);
+  bag.Add(5);
+  EXPECT_EQ(bag.Count(5), 2);
+  EXPECT_TRUE(bag.RemoveOne(5));
+  EXPECT_EQ(bag.Count(5), 1);
+}
+
+// --- Index implementations, swept over all three kinds ---
+
+enum class Kind { kStdMap, kSnapshot, kSkipList };
+
+std::unique_ptr<Index<int64_t, int64_t*>> MakeIntIndex(Kind kind) {
+  switch (kind) {
+    case Kind::kStdMap:
+      return std::make_unique<StdMapIndex<int64_t, int64_t*>>();
+    case Kind::kSnapshot:
+      return std::make_unique<SnapshotIndex<int64_t, int64_t*>>();
+    case Kind::kSkipList:
+      return std::make_unique<SkipListIndex<int64_t, int64_t*>>();
+  }
+  return nullptr;
+}
+
+class IndexTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(IndexTest, InsertLookupRemove) {
+  auto index = MakeIntIndex(GetParam());
+  int64_t values[10];
+  for (int64_t i = 0; i < 10; ++i) {
+    values[i] = i * 100;
+    EXPECT_TRUE(index->Insert(i, &values[i]));
+  }
+  EXPECT_EQ(index->Size(), 10);
+  EXPECT_EQ(index->Lookup(3), &values[3]);
+  EXPECT_EQ(index->Lookup(99), nullptr);
+  EXPECT_FALSE(index->Insert(3, &values[4]));  // replace
+  EXPECT_EQ(index->Lookup(3), &values[4]);
+  EXPECT_TRUE(index->Remove(3));
+  EXPECT_FALSE(index->Remove(3));
+  EXPECT_EQ(index->Lookup(3), nullptr);
+  EXPECT_EQ(index->Size(), 9);
+}
+
+TEST_P(IndexTest, RangeIsInclusiveAndOrdered) {
+  auto index = MakeIntIndex(GetParam());
+  int64_t value = 0;
+  for (int64_t key : {10, 20, 30, 40, 50}) {
+    index->Insert(key, &value);
+  }
+  std::vector<int64_t> seen;
+  index->Range(20, 40, [&seen](const int64_t& key, int64_t* const&) {
+    seen.push_back(key);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{20, 30, 40}));
+}
+
+TEST_P(IndexTest, RangeEarlyStop) {
+  auto index = MakeIntIndex(GetParam());
+  int64_t value = 0;
+  for (int64_t key = 0; key < 100; ++key) {
+    index->Insert(key, &value);
+  }
+  int64_t visited = 0;
+  index->Range(0, 99, [&visited](const int64_t&, int64_t* const&) {
+    return ++visited < 5;
+  });
+  EXPECT_EQ(visited, 5);
+}
+
+TEST_P(IndexTest, ForEachVisitsAllInOrder) {
+  auto index = MakeIntIndex(GetParam());
+  int64_t value = 0;
+  for (int64_t key : {5, 1, 9, 3, 7}) {
+    index->Insert(key, &value);
+  }
+  std::vector<int64_t> seen;
+  index->ForEach([&seen](const int64_t& key, int64_t* const&) {
+    seen.push_back(key);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 3, 5, 7, 9}));
+}
+
+TEST_P(IndexTest, LargeRandomWorkloadMatchesStdMap) {
+  auto index = MakeIntIndex(GetParam());
+  std::map<int64_t, int64_t*> model;
+  int64_t value = 0;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t key = static_cast<int64_t>(rng.NextBounded(500));
+    switch (rng.NextBounded(3)) {
+      case 0:
+        EXPECT_EQ(index->Insert(key, &value), model.insert_or_assign(key, &value).second);
+        break;
+      case 1:
+        EXPECT_EQ(index->Remove(key), model.erase(key) > 0);
+        break;
+      default: {
+        auto it = model.find(key);
+        EXPECT_EQ(index->Lookup(key), it == model.end() ? nullptr : it->second);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(index->Size(), static_cast<int64_t>(model.size()));
+  EbrDomain::Global().DrainAll();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, IndexTest,
+                         ::testing::Values(Kind::kStdMap, Kind::kSnapshot, Kind::kSkipList),
+                         [](const ::testing::TestParamInfo<Kind>& info) {
+                           switch (info.param) {
+                             case Kind::kStdMap:
+                               return "stdmap";
+                             case Kind::kSnapshot:
+                               return "snapshot";
+                             case Kind::kSkipList:
+                               return "skiplist";
+                           }
+                           return "unknown";
+                         });
+
+// --- STM-concurrent container behaviour ---
+
+using StmKindParam = std::tuple<const char*, Kind>;
+
+class TxIndexStress : public ::testing::TestWithParam<StmKindParam> {};
+
+TEST_P(TxIndexStress, ConcurrentInsertsAndRemovesStayConsistent) {
+  const auto [stm_name, kind] = GetParam();
+  auto stm = MakeStm(stm_name);
+  auto index = MakeIntIndex(kind);
+  static int64_t value = 0;
+
+  // Each thread owns a disjoint key range; inserts then removes half of it.
+  constexpr int kThreads = 4;
+  constexpr int64_t kPerThread = 300;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const int64_t base = t * kPerThread;
+      for (int64_t k = 0; k < kPerThread; ++k) {
+        stm->RunAtomically([&](Transaction&) { index->Insert(base + k, &value); });
+        EbrDomain::Global().Quiesce();
+      }
+      for (int64_t k = 0; k < kPerThread; k += 2) {
+        stm->RunAtomically([&](Transaction&) { index->Remove(base + k); });
+        EbrDomain::Global().Quiesce();
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(index->Size(), kThreads * kPerThread / 2);
+  for (int t = 0; t < kThreads; ++t) {
+    const int64_t base = t * kPerThread;
+    for (int64_t k = 0; k < kPerThread; ++k) {
+      ASSERT_EQ(index->Lookup(base + k) != nullptr, k % 2 == 1);
+    }
+  }
+}
+
+std::string StmKindParamName(const ::testing::TestParamInfo<StmKindParam>& info) {
+  const auto [stm_name, kind] = info.param;
+  std::string name = stm_name;
+  name += kind == Kind::kSnapshot ? "_snapshot" : "_skiplist";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(StmByKind, TxIndexStress,
+                         ::testing::Combine(::testing::Values("tl2", "tinystm", "astm"),
+                                            ::testing::Values(Kind::kSnapshot,
+                                                              Kind::kSkipList)),
+                         StmKindParamName);
+
+TEST(TxVectorStmTest, ConcurrentPushesAllLand) {
+  auto stm = MakeStm("tl2");
+  TxVector<int64_t> vec;
+  constexpr int kThreads = 4;
+  constexpr int64_t kPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        stm->RunAtomically([&](Transaction&) { vec.PushBack(t * kPerThread + i); });
+        EbrDomain::Global().Quiesce();
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  ASSERT_EQ(vec.Size(), kThreads * kPerThread);
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  for (int64_t i = 0; i < vec.Size(); ++i) {
+    const int64_t value = vec.Get(i);
+    ASSERT_GE(value, 0);
+    ASSERT_LT(value, kThreads * kPerThread);
+    ASSERT_FALSE(seen[value]) << "duplicate element";
+    seen[value] = true;
+  }
+}
+
+}  // namespace
+}  // namespace sb7

@@ -1,0 +1,216 @@
+// Tests for the core structure: parameters, build correctness, invariants,
+// id pools, and checksum determinism, swept across scales and index kinds.
+
+#include <gtest/gtest.h>
+
+#include "src/core/builder.h"
+#include "src/core/invariants.h"
+#include "src/stm/stm_factory.h"
+
+namespace sb7 {
+namespace {
+
+TEST(ParametersTest, MediumMatchesThePaper) {
+  const Parameters p = Parameters::Medium();
+  EXPECT_EQ(p.assembly_levels, 7);
+  EXPECT_EQ(p.assembly_fanout, 3);
+  EXPECT_EQ(p.base_assembly_count(), 729);    // 3^6
+  EXPECT_EQ(p.complex_assembly_count(), 364); // 3^0 + ... + 3^5
+  EXPECT_EQ(p.initial_composite_parts, 500);
+  EXPECT_EQ(p.initial_atomic_parts(), 100'000);
+  EXPECT_EQ(p.manual_size, 1'000'000);
+}
+
+TEST(ParametersTest, TinyCounts) {
+  const Parameters p = Parameters::Tiny();
+  EXPECT_EQ(p.base_assembly_count(), 4);     // 2^2
+  EXPECT_EQ(p.complex_assembly_count(), 3);  // 1 + 2
+}
+
+TEST(ParametersTest, ForNameFallsBackToSmall) {
+  EXPECT_EQ(Parameters::ForName("medium").initial_composite_parts, 500);
+  EXPECT_EQ(Parameters::ForName("nonsense").initial_composite_parts,
+            Parameters::Small().initial_composite_parts);
+}
+
+class BuildTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(BuildTest, InitialStructureSatisfiesAllInvariants) {
+  DataHolder::Setup setup;
+  setup.params = Parameters::Small();
+  setup.index_kind = GetParam();
+  setup.seed = 42;
+  DataHolder dh(setup);
+
+  const InvariantReport report = CheckInvariants(dh);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations[0]);
+  EXPECT_EQ(report.base_assemblies, setup.params.base_assembly_count());
+  EXPECT_EQ(report.complex_assemblies, setup.params.complex_assembly_count());
+  EXPECT_EQ(report.composite_parts, setup.params.initial_composite_parts);
+  EXPECT_EQ(report.atomic_parts, setup.params.initial_atomic_parts());
+}
+
+TEST_P(BuildTest, ChecksumIsDeterministicInSeed) {
+  DataHolder::Setup setup;
+  setup.params = Parameters::Tiny();
+  setup.index_kind = GetParam();
+  setup.seed = 123;
+  DataHolder a(setup);
+  DataHolder b(setup);
+  EXPECT_EQ(StructureChecksum(a), StructureChecksum(b));
+
+  setup.seed = 124;
+  DataHolder c(setup);
+  EXPECT_NE(StructureChecksum(a), StructureChecksum(c));
+}
+
+TEST_P(BuildTest, ChecksumIsIndexKindIndependent) {
+  // The same seed must yield the same structure regardless of which index
+  // implementation holds it — the checksum covers structure, not indexes.
+  DataHolder::Setup setup;
+  setup.params = Parameters::Tiny();
+  setup.seed = 5;
+  setup.index_kind = GetParam();
+  DataHolder a(setup);
+  setup.index_kind = IndexKind::kStdMap;
+  DataHolder b(setup);
+  EXPECT_EQ(StructureChecksum(a), StructureChecksum(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexKinds, BuildTest,
+                         ::testing::Values(IndexKind::kStdMap, IndexKind::kSnapshot,
+                                           IndexKind::kSkipList),
+                         [](const ::testing::TestParamInfo<IndexKind>& info) {
+                           return std::string(IndexKindName(info.param));
+                         });
+
+TEST(IdPoolTest, AllocateReleaseAccounting) {
+  IdPool pool(10);
+  EXPECT_EQ(pool.Available(), 10);
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    const int64_t id = pool.Allocate();
+    EXPECT_GE(id, 1);
+    EXPECT_LE(id, 10);
+    ids.push_back(id);
+  }
+  EXPECT_EQ(pool.Available(), 0);
+  EXPECT_EQ(pool.Allocate(), 0);  // exhausted
+  pool.Release(ids[3]);
+  EXPECT_EQ(pool.Available(), 1);
+  EXPECT_EQ(pool.Allocate(), ids[3]);  // recycled
+}
+
+TEST(IdPoolTest, TransactionalAllocationRollsBack) {
+  auto stm = MakeStm("tl2");
+  IdPool pool(10);
+  struct Bail {};
+  // Abort the first attempt after allocating: the allocation must roll back.
+  bool first = true;
+  EXPECT_THROW(stm->RunAtomically([&](Transaction&) {
+                 const int64_t id = pool.Allocate();
+                 EXPECT_EQ(id, 1);  // always sees the untouched pool
+                 if (first) {
+                   first = false;
+                   throw TxAborted{};
+                 }
+                 throw Bail{};  // failure path: commits the allocation
+               }),
+               Bail);
+  EXPECT_EQ(pool.Available(), 9);
+  EXPECT_EQ(pool.Allocate(), 2);
+}
+
+TEST(BuilderTest, CreateAndDeleteCompositePartKeepsInvariants) {
+  DataHolder::Setup setup;
+  setup.params = Parameters::Tiny();
+  setup.seed = 7;
+  DataHolder dh(setup);
+  Rng rng(1);
+
+  ASSERT_TRUE(CanCreateCompositePart(dh));
+  CompositePart* part = CreateCompositePart(dh, rng);
+  ASSERT_NE(part, nullptr);
+  EXPECT_TRUE(CheckInvariants(dh).ok());
+  EXPECT_EQ(dh.composite_part_id_index().Lookup(part->id()), part);
+
+  DeleteCompositePart(dh, part);
+  const InvariantReport report = CheckInvariants(dh);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations[0]);
+  EXPECT_EQ(report.composite_parts, setup.params.initial_composite_parts);
+}
+
+TEST(BuilderTest, SubtreeCountsMatchRecursiveCreation) {
+  DataHolder::Setup setup;
+  setup.params = Parameters::Tiny();  // 3 levels, fanout 2
+  setup.seed = 9;
+  DataHolder dh(setup);
+  Rng rng(2);
+
+  const auto [complexes, bases] = SubtreeNodeCounts(dh.params(), 2);
+  EXPECT_EQ(complexes, 1);
+  EXPECT_EQ(bases, 2);
+
+  ComplexAssembly* root = dh.module()->design_root();
+  const InvariantReport before = CheckInvariants(dh);
+  ASSERT_TRUE(CanCreateSubtree(dh, 2));
+  CreateAssemblySubtree(dh, root, 2, rng);
+  const InvariantReport after = CheckInvariants(dh);
+  EXPECT_TRUE(after.ok()) << (after.violations.empty() ? "" : after.violations[0]);
+  EXPECT_EQ(after.complex_assemblies, before.complex_assemblies + complexes);
+  EXPECT_EQ(after.base_assemblies, before.base_assemblies + bases);
+}
+
+TEST(BuilderTest, DeleteSubtreeRestoresCounts) {
+  DataHolder::Setup setup;
+  setup.params = Parameters::Tiny();
+  setup.seed = 11;
+  DataHolder dh(setup);
+  Rng rng(3);
+
+  ComplexAssembly* root = dh.module()->design_root();
+  const InvariantReport before = CheckInvariants(dh);
+  auto* subtree = static_cast<ComplexAssembly*>(CreateAssemblySubtree(dh, root, 2, rng));
+  DeleteAssemblySubtree(dh, subtree);
+  const InvariantReport after = CheckInvariants(dh);
+  EXPECT_TRUE(after.ok());
+  EXPECT_EQ(after.complex_assemblies, before.complex_assemblies);
+  EXPECT_EQ(after.base_assemblies, before.base_assemblies);
+  EbrDomain::Global().DrainAll();
+}
+
+TEST(DocumentTest, TogglePhraseRoundTrips) {
+  Document doc(1, "t", "I am here. I am there.");
+  EXPECT_EQ(doc.TogglePhrase(), 2);
+  EXPECT_EQ(doc.text(), "This is here. This is there.");
+  EXPECT_EQ(doc.TogglePhrase(), 2);
+  EXPECT_EQ(doc.text(), "I am here. I am there.");
+  EXPECT_EQ(doc.CountChar('I'), 2);
+}
+
+TEST(ManualTest, ToggleCaseRoundTrips) {
+  Manual manual(1, "m", "I saw III");
+  EXPECT_EQ(manual.ToggleCase(), 4);
+  EXPECT_EQ(manual.text(), "i saw iii");
+  EXPECT_EQ(manual.ToggleCase(), 4);
+  EXPECT_EQ(manual.CountChar('I'), 4);
+  EXPECT_EQ(manual.FirstEqualsLast(), 1);  // 'I' == 'I'
+}
+
+TEST(AtomicPartTest, SwapXY) {
+  AtomicPart part(1, 1950, 3, 4);
+  part.SwapXY();
+  EXPECT_EQ(part.x(), 4);
+  EXPECT_EQ(part.y(), 3);
+}
+
+TEST(DesignObjectTest, NudgeTogglesWithoutDrift) {
+  AtomicPart part(1, 1950, 0, 0);
+  part.NudgeBuildDate();
+  EXPECT_EQ(part.build_date(), 1951);
+  part.NudgeBuildDate();
+  EXPECT_EQ(part.build_date(), 1950);
+}
+
+}  // namespace
+}  // namespace sb7

@@ -1,0 +1,161 @@
+// Tests for the fine-grained locking strategy: audited plan coverage for
+// every operation, determinism/equivalence with the other strategies, and
+// multi-threaded integration with invariants.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/core/invariants.h"
+#include "src/harness/driver.h"
+#include "src/strategy/fine.h"
+
+namespace sb7 {
+namespace {
+
+std::unique_ptr<DataHolder> MakeWorld(uint64_t seed = 31) {
+  DataHolder::Setup setup;
+  setup.params = Parameters::Tiny();
+  setup.index_kind = IndexKind::kStdMap;
+  setup.seed = seed;
+  return std::make_unique<DataHolder>(setup);
+}
+
+// The load-bearing test: run every operation many times in audit mode, where
+// every single field access is checked against the plan. Any operation
+// touching an object its planner did not cover aborts the process.
+TEST(FinePlanAuditTest, EveryOperationStaysWithinItsPlan) {
+  auto dh = MakeWorld();
+  FineLockStrategy strategy;
+  strategy.set_audit_mode(true);
+  OperationRegistry registry;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed * 13 + 5);
+    for (const auto& op : registry.all()) {
+      try {
+        strategy.Execute(*op, *dh, rng);
+      } catch (const OperationFailed&) {
+        // expected for random misses
+      }
+    }
+  }
+  const InvariantReport report = CheckInvariants(*dh);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations[0]);
+  EbrDomain::Global().DrainAll();
+}
+
+TEST(FinePlanTest, PathPlansAreExactAndReplayable) {
+  auto dh = MakeWorld();
+  OperationRegistry registry;
+  const Operation* st6 = registry.Find("ST6");
+  // Planning with a copy must leave the caller's RNG untouched, and two
+  // plans from the same state must be identical.
+  Rng rng(77);
+  Rng snapshot = rng;
+  FinePlan plan_a;
+  PlanFineLocks(*st6, *dh, rng, plan_a);
+  FinePlan plan_b;
+  PlanFineLocks(*st6, *dh, rng, plan_b);
+  EXPECT_EQ(plan_a.objects().size(), plan_b.objects().size());
+  for (const auto& [unit, write] : plan_a.objects()) {
+    auto it = plan_b.objects().find(unit);
+    ASSERT_NE(it, plan_b.objects().end());
+    EXPECT_EQ(it->second, write);
+  }
+  // rng must still equal its snapshot (planning used a copy).
+  EXPECT_EQ(rng.Next(), snapshot.Next());
+  // A successful path plan for an update op holds exactly one write object.
+  if (!plan_a.objects().empty()) {
+    EXPECT_EQ(plan_a.objects().size(), 1u);
+    EXPECT_TRUE(plan_a.objects().begin()->second);
+  }
+}
+
+TEST(FinePlanTest, StructureModificationsNeedNoPlan) {
+  auto dh = MakeWorld();
+  OperationRegistry registry;
+  FinePlan plan;
+  EXPECT_FALSE(PlanFineLocks(*registry.Find("SM1"), *dh, Rng(1), plan));
+  EXPECT_TRUE(plan.objects().empty());
+}
+
+TEST(FinePlanTest, ManualOpsLockOnlyTheManual) {
+  auto dh = MakeWorld();
+  OperationRegistry registry;
+  FinePlan plan;
+  ASSERT_TRUE(PlanFineLocks(*registry.Find("OP11"), *dh, Rng(1), plan));
+  ASSERT_EQ(plan.objects().size(), 1u);
+  EXPECT_EQ(plan.objects().begin()->first, &dh->manual()->unit());
+  EXPECT_TRUE(plan.objects().begin()->second);
+  EXPECT_TRUE(plan.Covers(dh->manual()->unit(), /*write=*/true));
+}
+
+TEST(FinePlanTest, DatePredicateOpsUseConservativePlans) {
+  auto dh = MakeWorld();
+  OperationRegistry registry;
+  FinePlan plan;
+  ASSERT_TRUE(PlanFineLocks(*registry.Find("OP2"), *dh, Rng(1), plan));
+  EXPECT_EQ(static_cast<int64_t>(plan.objects().size()),
+            dh->composite_part_id_index().Size());
+  EXPECT_EQ(plan.date_index_mode(), FinePlan::Mode::kRead);
+
+  FinePlan t3_plan;
+  ASSERT_TRUE(PlanFineLocks(*registry.Find("T3b"), *dh, Rng(1), t3_plan));
+  EXPECT_EQ(t3_plan.date_index_mode(), FinePlan::Mode::kWrite);
+}
+
+TEST(FineIntegrationTest, ConcurrentWorkloadPreservesInvariants) {
+  BenchConfig config;
+  config.strategy = "fine";
+  config.scale = "tiny";
+  config.threads = 4;
+  config.length_seconds = 1.5;
+  config.workload = WorkloadType::kWriteDominated;
+  config.seed = 808;
+  BenchmarkRunner runner(config);
+  const BenchResult result = runner.Run();
+  EXPECT_GT(result.total_success, 0);
+  const InvariantReport report = CheckInvariants(runner.data());
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations[0]);
+}
+
+TEST(FineIntegrationTest, MatchesOtherStrategiesBitForBit) {
+  auto checksum_for = [](const char* strategy_name) {
+    BenchConfig config;
+    config.strategy = strategy_name;
+    config.scale = "tiny";
+    config.index_kind = IndexKind::kStdMap;
+    config.threads = 1;
+    config.length_seconds = 3600.0;
+    config.max_operations = 300;
+    config.workload = WorkloadType::kWriteDominated;
+    config.seed = 4242;
+    BenchmarkRunner runner(config);
+    runner.Run();
+    return StructureChecksum(runner.data());
+  };
+  EXPECT_EQ(checksum_for("fine"), checksum_for("coarse"));
+}
+
+TEST(FineCoverageTest, CoverageChainsResolve) {
+  auto dh = MakeWorld();
+  CompositePart* part = dh->composite_part_id_index().Lookup(1);
+  ASSERT_NE(part, nullptr);
+  // Atomic parts and the document resolve to the composite part.
+  EXPECT_EQ(part->parts()[0]->unit().Cover(), &part->unit());
+  EXPECT_EQ(part->documentation()->unit().Cover(), &part->unit());
+  // The part's own fields are their own root.
+  EXPECT_EQ(part->unit().Cover(), &part->unit());
+  // A base assembly's components bag chains to the assembly.
+  BaseAssembly* base = nullptr;
+  dh->base_assembly_id_index().ForEach([&base](const int64_t&, BaseAssembly* const& b) {
+    base = b;
+    return false;
+  });
+  ASSERT_NE(base, nullptr);
+  EXPECT_TRUE(base->components().Size() >= 0);  // touch it
+  EXPECT_EQ(base->unit().Cover(), &base->unit());
+}
+
+}  // namespace
+}  // namespace sb7

@@ -1,0 +1,240 @@
+// Harness integration tests: CLI parsing, multi-threaded runs under every
+// strategy followed by full invariant checks, and report formatting.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/invariants.h"
+#include "src/harness/cli.h"
+#include "src/harness/report.h"
+
+namespace sb7 {
+namespace {
+
+// --- CLI ---
+
+CliResult Parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"stmbench7"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ParseCommandLine(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliTest, DefaultsMatchAppendixA) {
+  const CliResult result = Parse({});
+  ASSERT_FALSE(result.error.has_value());
+  EXPECT_EQ(result.config.threads, 1);
+  EXPECT_EQ(result.config.workload, WorkloadType::kReadDominated);
+  EXPECT_EQ(result.config.strategy, "coarse");
+  EXPECT_TRUE(result.config.long_traversals);
+  EXPECT_TRUE(result.config.structure_mods);
+  EXPECT_FALSE(result.config.ttc_histograms);
+}
+
+TEST(CliTest, ParsesAllAppendixAFlags) {
+  const CliResult result = Parse({"-t", "8", "-l", "30", "-w", "rw", "-g", "medium",
+                                  "--no-traversals", "--no-sms", "--ttc-histograms"});
+  ASSERT_FALSE(result.error.has_value());
+  EXPECT_EQ(result.config.threads, 8);
+  EXPECT_DOUBLE_EQ(result.config.length_seconds, 30.0);
+  EXPECT_EQ(result.config.workload, WorkloadType::kReadWrite);
+  EXPECT_EQ(result.config.strategy, "medium");
+  EXPECT_FALSE(result.config.long_traversals);
+  EXPECT_FALSE(result.config.structure_mods);
+  EXPECT_TRUE(result.config.ttc_histograms);
+}
+
+TEST(CliTest, ParsesExtensions) {
+  const CliResult result = Parse({"-s", "medium", "--seed", "99", "--index", "skiplist",
+                                  "--cm", "karma", "--disable", "OP4", "--disable", "OP5",
+                                  "--max-ops", "1000", "-g", "astm"});
+  ASSERT_FALSE(result.error.has_value());
+  EXPECT_EQ(result.config.scale, "medium");
+  EXPECT_EQ(result.config.seed, 99u);
+  EXPECT_EQ(result.config.index_kind, IndexKind::kSkipList);
+  EXPECT_EQ(result.config.contention_manager, "karma");
+  EXPECT_EQ(result.config.disabled_ops.count("OP4"), 1u);
+  EXPECT_EQ(result.config.disabled_ops.count("OP5"), 1u);
+  EXPECT_EQ(result.config.max_operations, 1000);
+}
+
+TEST(CliTest, ShortOnlyAppliesFigure6Subset) {
+  const CliResult result = Parse({"--short-only"});
+  ASSERT_FALSE(result.error.has_value());
+  EXPECT_FALSE(result.config.long_traversals);
+  EXPECT_GT(result.config.disabled_ops.size(), 5u);
+}
+
+TEST(CliTest, RejectsBadArguments) {
+  EXPECT_TRUE(Parse({"-t", "0"}).error.has_value());
+  EXPECT_TRUE(Parse({"-t", "abc"}).error.has_value());
+  EXPECT_TRUE(Parse({"-w", "x"}).error.has_value());
+  EXPECT_TRUE(Parse({"-g", "noSuchStm"}).error.has_value());
+  EXPECT_TRUE(Parse({"--bogus"}).error.has_value());
+  EXPECT_TRUE(Parse({"-l"}).error.has_value());
+  EXPECT_TRUE(Parse({"-l", "-5"}).error.has_value());
+}
+
+TEST(CliTest, ParsesReadRatioCsvAndVerify) {
+  const CliResult result =
+      Parse({"--read-ratio", "0.75", "--csv", "/tmp/x.csv", "--verify"});
+  ASSERT_FALSE(result.error.has_value());
+  ASSERT_TRUE(result.config.read_fraction.has_value());
+  EXPECT_DOUBLE_EQ(*result.config.read_fraction, 0.75);
+  EXPECT_EQ(result.config.csv_path, "/tmp/x.csv");
+  EXPECT_TRUE(result.config.verify_invariants);
+  EXPECT_TRUE(Parse({"--read-ratio", "1.5"}).error.has_value());
+  EXPECT_TRUE(Parse({"--read-ratio", "-0.1"}).error.has_value());
+  EXPECT_TRUE(Parse({"--csv"}).error.has_value());
+}
+
+TEST(CliTest, HelpShortCircuits) {
+  EXPECT_TRUE(Parse({"--help"}).show_help);
+  EXPECT_FALSE(Parse({"--help"}).error.has_value());
+  EXPECT_NE(UsageText().find("--ttc-histograms"), std::string::npos);
+}
+
+// --- integration: every strategy, multi-threaded, invariants after ---
+
+class IntegrationTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IntegrationTest, ConcurrentMixedWorkloadPreservesInvariants) {
+  BenchConfig config;
+  config.strategy = GetParam();
+  config.scale = "tiny";
+  config.threads = 4;
+  config.length_seconds = 1.5;
+  config.workload = WorkloadType::kWriteDominated;  // maximum stress
+  config.seed = 555;
+
+  BenchmarkRunner runner(config);
+  const BenchResult result = runner.Run();
+  EXPECT_GT(result.total_success, 0);
+  const InvariantReport report = CheckInvariants(runner.data());
+  EXPECT_TRUE(report.ok()) << GetParam() << ": "
+                           << (report.violations.empty() ? "" : report.violations[0]);
+  if (Stm* stm = runner.strategy().stm()) {
+    // One RunAtomically per started operation, and every operation ends in
+    // exactly one commit (failures are committed outcomes too).
+    const auto view = stm->stats().Snapshot();
+    EXPECT_EQ(view.starts, result.total_started);
+    EXPECT_EQ(view.commits, result.total_started);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, IntegrationTest,
+                         ::testing::Values("coarse", "medium", "fine", "tl2", "tinystm", "norec", "astm"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(IntegrationTest2, ReadDominatedWithLongTraversals) {
+  for (const char* name : {"medium", "tl2"}) {
+    BenchConfig config;
+    config.strategy = name;
+    config.scale = "tiny";
+    config.threads = 3;
+    config.length_seconds = 1.0;
+    config.workload = WorkloadType::kReadDominated;
+    BenchmarkRunner runner(config);
+    const BenchResult result = runner.Run();
+    EXPECT_GT(result.total_success, 0) << name;
+    EXPECT_TRUE(CheckInvariants(runner.data()).ok()) << name;
+  }
+}
+
+TEST(IntegrationTest2, MaxOpsCapIsRespected) {
+  BenchConfig config;
+  config.strategy = "coarse";
+  config.scale = "tiny";
+  config.threads = 2;
+  config.length_seconds = 3600.0;
+  config.max_operations = 100;
+  BenchmarkRunner runner(config);
+  const BenchResult result = runner.Run();
+  EXPECT_LE(result.total_started, 100 + config.threads);  // fetch_add slack
+  EXPECT_GE(result.total_started, 100);
+}
+
+// --- report formatting ---
+
+TEST(ReportTest, ContainsAllAppendixASections) {
+  BenchConfig config;
+  config.strategy = "tl2";
+  config.scale = "tiny";
+  config.threads = 2;
+  config.length_seconds = 0.3;
+  config.ttc_histograms = true;
+  BenchmarkRunner runner(config);
+  const BenchResult result = runner.Run();
+
+  std::ostringstream out;
+  PrintReport(out, runner, result);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== Benchmark parameters =="), std::string::npos);
+  EXPECT_NE(text.find("== TTC histograms =="), std::string::npos);
+  EXPECT_NE(text.find("TTC histogram for"), std::string::npos);
+  EXPECT_NE(text.find("== Detailed results =="), std::string::npos);
+  EXPECT_NE(text.find("== Sample errors =="), std::string::npos);
+  EXPECT_NE(text.find("total sample errors: E = "), std::string::npos);
+  EXPECT_NE(text.find("== Summary results =="), std::string::npos);
+  EXPECT_NE(text.find("long traversals"), std::string::npos);
+  EXPECT_NE(text.find("total throughput"), std::string::npos);
+  EXPECT_NE(text.find("== STM statistics =="), std::string::npos);
+}
+
+TEST(ReportTest, CsvHasMetadataRowsAndTotal) {
+  BenchConfig config;
+  config.strategy = "tinystm";
+  config.scale = "tiny";
+  config.threads = 1;
+  config.length_seconds = 0.2;
+  BenchmarkRunner runner(config);
+  const BenchResult result = runner.Run();
+  std::ostringstream out;
+  WriteCsv(out, runner, result);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# strategy=tinystm"), std::string::npos);
+  EXPECT_NE(text.find("# throughput_success="), std::string::npos);
+  EXPECT_NE(text.find("# stm_commits="), std::string::npos);
+  EXPECT_NE(text.find("op,category,read_only,ratio,completed,failed"), std::string::npos);
+  EXPECT_NE(text.find("\nT1,"), std::string::npos);
+  EXPECT_NE(text.find("\nTOTAL,"), std::string::npos);
+}
+
+TEST(WorkloadOverrideTest, CustomReadFractionShiftsTheMix) {
+  BenchConfig config;
+  config.strategy = "coarse";
+  config.scale = "tiny";
+  config.threads = 1;
+  config.length_seconds = 3600.0;
+  config.max_operations = 4000;
+  config.read_fraction = 1.0;  // pure read-only mix
+  BenchmarkRunner runner(config);
+  const BenchResult result = runner.Run();
+  const auto& ops = runner.registry().all();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i]->read_only()) {
+      EXPECT_EQ(result.per_op[i].started(), 0) << ops[i]->name();
+    }
+  }
+  // A 100%-read run must leave the structure checksum untouched.
+  EXPECT_TRUE(CheckInvariants(runner.data()).ok());
+}
+
+TEST(ReportTest, HistogramsOmittedByDefault) {
+  BenchConfig config;
+  config.strategy = "coarse";
+  config.scale = "tiny";
+  config.threads = 1;
+  config.length_seconds = 0.2;
+  BenchmarkRunner runner(config);
+  const BenchResult result = runner.Run();
+  std::ostringstream out;
+  PrintReport(out, runner, result);
+  EXPECT_EQ(out.str().find("TTC histogram for"), std::string::npos);
+  EXPECT_EQ(out.str().find("STM statistics"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sb7

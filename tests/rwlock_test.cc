@@ -1,0 +1,125 @@
+// Tests for the writer-preferring reader-writer lock.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/sync/rwlock.h"
+
+namespace sb7 {
+namespace {
+
+TEST(RwLockTest, WritersAreMutuallyExclusive) {
+  RwLock lock;
+  int64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        WriteGuard guard(lock);
+        ++counter;  // data race unless exclusion holds
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(counter, static_cast<int64_t>(kThreads) * kIters);
+  EXPECT_EQ(lock.write_acquisitions(), static_cast<int64_t>(kThreads) * kIters);
+}
+
+TEST(RwLockTest, ReadersExcludeWriters) {
+  RwLock lock;
+  std::atomic<int> readers_inside{0};
+  std::atomic<int> writers_inside{0};
+  std::atomic<bool> violation{false};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load()) {
+        ReadGuard guard(lock);
+        readers_inside.fetch_add(1);
+        if (writers_inside.load() != 0) {
+          violation = true;
+        }
+        readers_inside.fetch_sub(1);
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    for (int i = 0; i < 2'000; ++i) {
+      WriteGuard guard(lock);
+      writers_inside.fetch_add(1);
+      if (readers_inside.load() != 0 || writers_inside.load() != 1) {
+        violation = true;
+      }
+      writers_inside.fetch_sub(1);
+    }
+    stop = true;
+  });
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(RwLockTest, MultipleReadersShareTheLock) {
+  RwLock lock;
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> barrier{0};
+  constexpr int kReaders = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kReaders; ++t) {
+    workers.emplace_back([&] {
+      ReadGuard guard(lock);
+      const int now = concurrent.fetch_add(1) + 1;
+      int snapshot = peak.load();
+      while (snapshot < now && !peak.compare_exchange_weak(snapshot, now)) {
+      }
+      // Hold until every reader has arrived (they can all be inside).
+      barrier.fetch_add(1);
+      while (barrier.load() < kReaders) {
+        std::this_thread::yield();
+      }
+      concurrent.fetch_sub(1);
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(peak.load(), kReaders);
+}
+
+TEST(RwLockTest, WriterNotStarvedByReaderStream) {
+  RwLock lock;
+  std::atomic<bool> writer_done{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        ReadGuard guard(lock);
+      }
+    });
+  }
+  std::thread writer([&] {
+    WriteGuard guard(lock);
+    writer_done = true;
+  });
+  writer.join();  // must complete despite the reader stream
+  EXPECT_TRUE(writer_done.load());
+  stop = true;
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+}
+
+}  // namespace
+}  // namespace sb7

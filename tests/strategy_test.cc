@@ -1,0 +1,135 @@
+// Strategy-level tests: factory wiring, lock bracketing, failure semantics,
+// and the cross-backend equivalence property — identically seeded
+// single-thread runs under all five strategies must produce bit-identical
+// structures.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/invariants.h"
+#include "src/harness/driver.h"
+#include "src/strategy/strategy.h"
+
+namespace sb7 {
+namespace {
+
+TEST(StrategyFactoryTest, KnownNames) {
+  for (const char* name : {"coarse", "medium", "fine", "tl2", "tinystm", "norec", "astm"}) {
+    auto strategy = MakeStrategy(name);
+    ASSERT_NE(strategy, nullptr) << name;
+    EXPECT_EQ(strategy->name(), name);
+    const bool is_lock_strategy = std::string(name) == "coarse" ||
+                                  std::string(name) == "medium" || std::string(name) == "fine";
+    EXPECT_EQ(strategy->stm() != nullptr, !is_lock_strategy);
+  }
+  EXPECT_EQ(MakeStrategy("bogus"), nullptr);
+  EXPECT_EQ(MakeStrategy("astm", "bogus-cm"), nullptr);
+}
+
+TEST(StrategyFactoryTest, DefaultIndexKinds) {
+  EXPECT_EQ(DefaultIndexKindFor("coarse"), IndexKind::kStdMap);
+  EXPECT_EQ(DefaultIndexKindFor("medium"), IndexKind::kStdMap);
+  EXPECT_EQ(DefaultIndexKindFor("astm"), IndexKind::kSnapshot);
+  EXPECT_EQ(DefaultIndexKindFor("tl2"), IndexKind::kSkipList);
+  EXPECT_EQ(DefaultIndexKindFor("tinystm"), IndexKind::kSkipList);
+  EXPECT_EQ(DefaultIndexKindFor("norec"), IndexKind::kSkipList);
+}
+
+TEST(StrategyTest, OperationFailurePropagatesUnderEveryStrategy) {
+  OperationRegistry registry;
+  const Operation* sm1 = registry.Find("SM1");
+  for (const char* name : {"coarse", "medium", "fine", "tl2", "tinystm", "norec", "astm"}) {
+    DataHolder::Setup setup;
+    setup.params = Parameters::Tiny();
+    setup.index_kind = DefaultIndexKindFor(name);
+    setup.seed = 3;
+    DataHolder dh(setup);
+    auto strategy = MakeStrategy(name);
+    Rng rng(4);
+    // Exhaust the composite part pool, then SM1 must fail.
+    int64_t created = 0;
+    while (true) {
+      try {
+        strategy->Execute(*sm1, dh, rng);
+        ++created;
+      } catch (const OperationFailed&) {
+        break;
+      }
+      ASSERT_LE(created, dh.composite_part_ids().capacity());
+    }
+    EXPECT_THROW(strategy->Execute(*sm1, dh, rng), OperationFailed) << name;
+    EXPECT_TRUE(CheckInvariants(dh).ok()) << name;
+    EbrDomain::Global().DrainAll();
+  }
+}
+
+// The headline determinism property: one seed, one thread, five strategies,
+// identical resulting structures. This proves the strategies implement the
+// same semantics, not merely "some" synchronization.
+TEST(EquivalenceTest, SingleThreadRunsAreBitIdenticalAcrossStrategies) {
+  constexpr int64_t kOps = 400;
+  std::optional<uint64_t> expected;
+  std::string first_strategy;
+  for (const char* name : {"coarse", "medium", "fine", "tl2", "tinystm", "norec", "astm"}) {
+    BenchConfig config;
+    config.strategy = name;
+    config.scale = "tiny";
+    // The structure must be identical across index kinds (it is; see
+    // core_test) — but the *run* must also draw identical random sequences,
+    // so pin one index kind for all strategies.
+    config.index_kind = IndexKind::kSkipList;
+    config.threads = 1;
+    config.length_seconds = 3600.0;  // bounded by max_operations instead
+    config.max_operations = kOps;
+    config.workload = WorkloadType::kWriteDominated;  // maximum mutation
+    config.seed = 2024;
+
+    BenchmarkRunner runner(config);
+    const BenchResult result = runner.Run();
+    EXPECT_EQ(result.total_started, kOps) << name;
+    const InvariantReport report = CheckInvariants(runner.data());
+    ASSERT_TRUE(report.ok()) << name << ": "
+                             << (report.violations.empty() ? "" : report.violations[0]);
+    const uint64_t checksum = StructureChecksum(runner.data());
+    if (!expected.has_value()) {
+      expected = checksum;
+      first_strategy = name;
+    } else {
+      EXPECT_EQ(checksum, *expected) << name << " diverged from " << first_strategy;
+    }
+  }
+}
+
+TEST(EquivalenceTest, DifferentSeedsDiverge) {
+  auto run_checksum = [](uint64_t seed) {
+    BenchConfig config;
+    config.strategy = "coarse";
+    config.scale = "tiny";
+    config.threads = 1;
+    config.length_seconds = 3600.0;
+    config.max_operations = 200;
+    config.workload = WorkloadType::kWriteDominated;
+    config.seed = seed;
+    BenchmarkRunner runner(config);
+    runner.Run();
+    return StructureChecksum(runner.data());
+  };
+  EXPECT_NE(run_checksum(1), run_checksum(2));
+  EXPECT_EQ(run_checksum(3), run_checksum(3));
+}
+
+TEST(MediumStrategyTest, LockOrderIsTotal) {
+  // All declared lock sets must acquire in LockId order — verified statically
+  // here by checking the masks fit the enum (acquisition code iterates ids in
+  // order, so any set is safe); this test documents the invariant.
+  OperationRegistry registry;
+  for (const auto& op : registry.all()) {
+    EXPECT_EQ(op->locks().read & op->locks().write, 0)
+        << op->name() << ": a lock must not be requested in both modes";
+    EXPECT_LT(op->locks().read | op->locks().write, 1u << kLockCount);
+  }
+}
+
+}  // namespace
+}  // namespace sb7

@@ -1,0 +1,160 @@
+// Tests for the Table-2 workload mixer and the operation sampler.
+
+#include <gtest/gtest.h>
+
+#include "src/harness/workload.h"
+
+namespace sb7 {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  OperationRegistry registry_;
+};
+
+double SumRatios(const std::vector<double>& ratios) {
+  double total = 0;
+  for (double r : ratios) {
+    total += r;
+  }
+  return total;
+}
+
+// Observed fraction of operations with property `pred` under the ratios.
+template <typename Pred>
+double Fraction(const OperationRegistry& registry, const std::vector<double>& ratios,
+                Pred&& pred) {
+  double f = 0;
+  const auto& ops = registry.all();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (pred(*ops[i])) {
+      f += ratios[i];
+    }
+  }
+  return f;
+}
+
+TEST_F(WorkloadTest, RatiosSumToOne) {
+  for (WorkloadType type : {WorkloadType::kReadDominated, WorkloadType::kReadWrite,
+                            WorkloadType::kWriteDominated}) {
+    const auto ratios = ComputeOperationRatios(registry_, type, true, true, {});
+    EXPECT_NEAR(SumRatios(ratios), 1.0, 1e-12);
+  }
+}
+
+TEST_F(WorkloadTest, ReadFractionApproximatesWorkloadType) {
+  // Because structure modifications are all updates, the achievable read
+  // fraction is slightly below the nominal one (see workload.h); it must
+  // still clearly separate the three workload types.
+  const auto read_fraction = [&](WorkloadType type) {
+    const auto ratios = ComputeOperationRatios(registry_, type, true, true, {});
+    return Fraction(registry_, ratios, [](const Operation& op) { return op.read_only(); });
+  };
+  EXPECT_NEAR(read_fraction(WorkloadType::kReadDominated), 0.9, 0.03);
+  EXPECT_NEAR(read_fraction(WorkloadType::kReadWrite), 0.6, 0.03);
+  EXPECT_NEAR(read_fraction(WorkloadType::kWriteDominated), 0.1, 0.03);
+}
+
+TEST_F(WorkloadTest, CategoryWeightsFollowTable2) {
+  const auto ratios =
+      ComputeOperationRatios(registry_, WorkloadType::kReadWrite, true, true, {});
+  const auto category_fraction = [&](OpCategory category) {
+    return Fraction(registry_, ratios,
+                    [category](const Operation& op) { return op.category() == category; });
+  };
+  // LT 5 : ST 40 : OP 45 : SM 10*0.4 (SMs only get the write share), then
+  // normalized. Normalizer: 90 + 10*0.4 = 94.
+  EXPECT_NEAR(category_fraction(OpCategory::kLongTraversal), 5.0 / 94.0, 1e-9);
+  EXPECT_NEAR(category_fraction(OpCategory::kShortTraversal), 40.0 / 94.0, 1e-9);
+  EXPECT_NEAR(category_fraction(OpCategory::kShortOperation), 45.0 / 94.0, 1e-9);
+  EXPECT_NEAR(category_fraction(OpCategory::kStructureModification), 4.0 / 94.0, 1e-9);
+}
+
+TEST_F(WorkloadTest, DisablingCategoriesZeroesAndRenormalizes) {
+  const auto ratios =
+      ComputeOperationRatios(registry_, WorkloadType::kReadDominated, false, false, {});
+  EXPECT_NEAR(SumRatios(ratios), 1.0, 1e-12);
+  const auto& ops = registry_.all();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const OpCategory c = ops[i]->category();
+    if (c == OpCategory::kLongTraversal || c == OpCategory::kStructureModification) {
+      EXPECT_EQ(ratios[i], 0.0) << ops[i]->name();
+    } else {
+      EXPECT_GT(ratios[i], 0.0) << ops[i]->name();
+    }
+  }
+}
+
+TEST_F(WorkloadTest, DisablingIndividualOpsRedistributesWithinSubgroup) {
+  const auto base =
+      ComputeOperationRatios(registry_, WorkloadType::kReadDominated, true, true, {});
+  const auto without =
+      ComputeOperationRatios(registry_, WorkloadType::kReadDominated, true, true, {"OP1"});
+  EXPECT_NEAR(SumRatios(without), 1.0, 1e-12);
+  const auto& ops = registry_.all();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i]->name() == "OP1") {
+      EXPECT_EQ(without[i], 0.0);
+    } else if (ops[i]->category() == OpCategory::kShortOperation && ops[i]->read_only()) {
+      EXPECT_GT(without[i], base[i]);  // peers absorb the share
+    }
+  }
+}
+
+TEST_F(WorkloadTest, OperationsWithinASubgroupGetEqualRatios) {
+  const auto ratios =
+      ComputeOperationRatios(registry_, WorkloadType::kReadWrite, true, true, {});
+  const auto& ops = registry_.all();
+  const double t1 = ratios[0];  // T1 (read-only long traversal)
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i]->category() == OpCategory::kLongTraversal && ops[i]->read_only()) {
+      EXPECT_DOUBLE_EQ(ratios[i], t1) << ops[i]->name();
+    }
+  }
+}
+
+TEST_F(WorkloadTest, SamplerMatchesRatios) {
+  const auto ratios =
+      ComputeOperationRatios(registry_, WorkloadType::kReadWrite, true, true, {});
+  Rng rng(321);
+  constexpr int kDraws = 200'000;
+  std::vector<int64_t> counts(ratios.size(), 0);
+  for (int i = 0; i < kDraws; ++i) {
+    counts[SampleOperation(ratios, rng)]++;
+  }
+  for (size_t i = 0; i < ratios.size(); ++i) {
+    const double observed = static_cast<double>(counts[i]) / kDraws;
+    EXPECT_NEAR(observed, ratios[i], 0.01) << registry_.all()[i]->name();
+    if (ratios[i] == 0.0) {
+      EXPECT_EQ(counts[i], 0);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, Figure6SubsetKeepsAMeaningfulMix) {
+  auto disabled = Figure6DisabledOps();
+  const auto ratios = ComputeOperationRatios(registry_, WorkloadType::kReadDominated,
+                                             /*long_traversals=*/false, true, disabled);
+  EXPECT_NEAR(SumRatios(ratios), 1.0, 1e-12);
+  const auto& ops = registry_.all();
+  int enabled = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ratios[i] > 0) {
+      ++enabled;
+      EXPECT_EQ(disabled.count(ops[i]->name()), 0u);
+      EXPECT_NE(ops[i]->category(), OpCategory::kLongTraversal);
+    }
+  }
+  EXPECT_GE(enabled, 15);  // the short-only mix still has plenty of variety
+}
+
+TEST(WorkloadNamesTest, RoundTrip) {
+  EXPECT_EQ(WorkloadTypeForName("r"), WorkloadType::kReadDominated);
+  EXPECT_EQ(WorkloadTypeForName("rw"), WorkloadType::kReadWrite);
+  EXPECT_EQ(WorkloadTypeForName("w"), WorkloadType::kWriteDominated);
+  EXPECT_EQ(WorkloadTypeName(WorkloadType::kReadWrite), "read-write");
+  EXPECT_DOUBLE_EQ(ReadOnlyFraction(WorkloadType::kWriteDominated), 0.1);
+}
+
+}  // namespace
+}  // namespace sb7
