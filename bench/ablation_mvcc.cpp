@@ -1,0 +1,65 @@
+// MVCC ablation: multi-version (mvstm) vs invisible-read (tl2) backends on
+// the workloads where §5 of the paper shows word STMs collapsing — the
+// read-dominated mix, with and without long traversals.
+//
+// Expected shape: with long traversals enabled, tl2's read-only traversals
+// keep re-validating a huge read set and abort whenever a writer commits, so
+// its throughput collapses and its abort count explodes. mvstm serves
+// read-only transactions from a timestamped snapshot: ro-aborts stays at
+// exactly zero and throughput stays flat as traversals are enabled.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+struct Cell {
+  double throughput;
+  int64_t aborts;
+  int64_t ro_aborts;
+  double t1_max_ms;
+};
+
+Cell RunOne(const sb7::bench::BenchEnv& env, const char* strategy, int threads,
+            bool long_traversals) {
+  using namespace sb7;
+  BenchConfig config;
+  config.strategy = strategy;
+  config.scale = env.scale;
+  config.threads = threads;
+  config.length_seconds = env.seconds;
+  config.workload = WorkloadType::kReadDominated;
+  config.long_traversals = long_traversals;
+  config.seed = 4200 + threads;
+  BenchmarkRunner* runner = nullptr;
+  const BenchResult result = sb7::bench::RunCell(config, &runner);
+  return Cell{result.SuccessThroughput(), result.stm.aborts, result.stm.ro_aborts,
+              sb7::bench::MaxLatencyOf(result, runner->registry(), "T1")};
+}
+
+}  // namespace
+
+int main() {
+  using namespace sb7::bench;
+  const BenchEnv env = ReadBenchEnv();
+  PrintHeader("MVCC ablation: mvstm vs tl2, read-dominated workload", env);
+
+  for (bool long_traversals : {false, true}) {
+    std::printf("\n-- long traversals %s --\n", long_traversals ? "ENABLED" : "disabled");
+    std::printf("%8s %14s %14s %12s %12s %12s %14s\n", "threads", "tl2[op/s]", "mvstm[op/s]",
+                "tl2-aborts", "mv-aborts", "mv-ro-ab", "mv-T1max[ms]");
+    for (int threads : env.threads) {
+      const Cell tl2 = RunOne(env, "tl2", threads, long_traversals);
+      const Cell mv = RunOne(env, "mvstm", threads, long_traversals);
+      std::printf("%8d %14.0f %14.0f %12lld %12lld %12lld %14.2f\n", threads, tl2.throughput,
+                  mv.throughput, static_cast<long long>(tl2.aborts),
+                  static_cast<long long>(mv.aborts), static_cast<long long>(mv.ro_aborts),
+                  mv.t1_max_ms);
+      if (mv.ro_aborts != 0) {
+        std::fprintf(stderr, "mvstm recorded %lld read-only aborts — snapshot path broken\n",
+                     static_cast<long long>(mv.ro_aborts));
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

@@ -29,13 +29,21 @@ constexpr uint64_t kQuiesceReclaimPeriod = 64;
 // in limbo are handed to the domain's orphan list.
 class EbrDomain::ThreadState {
  public:
-  explicit ThreadState(EbrDomain* domain) : domain_(domain), slot_(domain->RegisterThread()) {}
+  explicit ThreadState(EbrDomain* domain)
+      : domain_(domain), domain_id_(domain->id_), slot_(domain->RegisterThread()) {}
 
   ~ThreadState() {
     std::lock_guard<std::mutex> lock(AliveMutex());
     auto& alive = AliveDomains();
-    if (std::find(alive.begin(), alive.end(), domain_) != alive.end()) {
+    if (std::find(alive.begin(), alive.end(), domain_) != alive.end() &&
+        domain_->id_ == domain_id_) {
       domain_->UnregisterThread(slot_, std::move(limbo_));
+    } else {
+      // The domain died before this thread (or its address was reused by a
+      // younger domain): nobody can still be reading the retired objects.
+      for (const Retired& entry : limbo_) {
+        entry.deleter(entry.ptr);
+      }
     }
   }
 
@@ -43,12 +51,17 @@ class EbrDomain::ThreadState {
   ThreadState& operator=(const ThreadState&) = delete;
 
   EbrDomain* domain_;
+  uint64_t domain_id_;
   int slot_;
   std::vector<Retired> limbo_;
   uint64_t quiesce_calls_ = 0;
 };
 
-EbrDomain::EbrDomain() {
+namespace {
+std::atomic<uint64_t> g_ebr_domain_counter{1};
+}  // namespace
+
+EbrDomain::EbrDomain() : id_(g_ebr_domain_counter.fetch_add(1, std::memory_order_relaxed)) {
   std::lock_guard<std::mutex> lock(AliveMutex());
   AliveDomains().push_back(this);
 }
@@ -89,7 +102,7 @@ void EbrDomain::UnregisterThread(int slot, std::vector<Retired>&& leftovers) {
 EbrDomain::ThreadState& EbrDomain::LocalState() {
   thread_local std::vector<std::unique_ptr<ThreadState>> states;
   for (const auto& state : states) {
-    if (state->domain_ == this) {
+    if (state->domain_ == this && state->domain_id_ == id_) {
       return *state;
     }
   }

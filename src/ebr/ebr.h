@@ -104,6 +104,10 @@ class EbrDomain {
   void FreeSafe(std::vector<Retired>& limbo, uint64_t safe_before);
 
   std::atomic<uint64_t> global_epoch_{2};
+  // Distinguishes domain generations: a domain constructed at the address of
+  // a destroyed one must not inherit cached per-thread state (slots would
+  // alias across unrelated threads).
+  uint64_t id_;
   Slot slots_[kMaxThreads];
 
   // Objects inherited from exited threads; protected by orphan_mu_.

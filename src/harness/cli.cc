@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "src/stm/contention.h"
+
 namespace sb7 {
 namespace {
 
@@ -32,7 +34,7 @@ std::string UsageText() {
   -t <n>                 number of threads (default 1)
   -l <seconds>           benchmark length (default 10)
   -w r|rw|w              workload type (default r = read-dominated)
-  -g <strategy>          coarse | medium | fine | tl2 | tinystm | norec | astm
+  -g <strategy>          coarse | medium | fine | tl2 | tinystm | norec | astm | mvstm
   --no-traversals        disable long traversals
   --no-sms               disable structure modification operations
   --ttc-histograms       print TTC (latency) histograms
@@ -94,8 +96,8 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
       if (!next(value)) {
         return fail("-g requires a strategy name");
       }
-      if (value != "coarse" && value != "medium" && value != "fine" && value != "tl2" && value != "tinystm" && value != "norec" &&
-          value != "astm") {
+      if (value != "coarse" && value != "medium" && value != "fine" && value != "tl2" &&
+          value != "tinystm" && value != "norec" && value != "astm" && value != "mvstm") {
         return fail("unknown strategy: " + value);
       }
       config.strategy = value;
@@ -123,8 +125,10 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
       }
       config.index_kind = IndexKindForName(value);
     } else if (arg == "--cm") {
-      if (!next(value)) {
-        return fail("--cm requires a contention manager name");
+      // Validate through the factory so the CLI can never drift from the
+      // set of managers that actually construct.
+      if (!next(value) || MakeContentionManager(value) == nullptr) {
+        return fail("--cm requires polka, karma, aggressive or timid");
       }
       config.contention_manager = value;
     } else if (arg == "--disable") {

@@ -18,7 +18,7 @@
 namespace sb7 {
 
 struct BenchConfig {
-  std::string strategy = "coarse";  // coarse | medium | tl2 | tinystm | astm
+  std::string strategy = "coarse";  // coarse | medium | fine | tl2 | tinystm | norec | astm | mvstm
   std::string contention_manager = "polka";
   std::string scale = "small";  // tiny | small | medium
   // Defaults to DefaultIndexKindFor(strategy) when unset.

@@ -135,6 +135,8 @@ void PrintReport(std::ostream& out, const BenchmarkRunner& runner, const BenchRe
     out << "  validation steps:      " << stm.validation_steps << "\n";
     out << "  bytes cloned:          " << stm.bytes_cloned << "\n";
     out << "  contention kills:      " << stm.kills << "\n";
+    out << "  read-only s/c/a:       " << stm.ro_starts << " / " << stm.ro_commits << " / "
+        << stm.ro_aborts << "\n";
   }
 }
 
@@ -155,6 +157,7 @@ void WriteCsv(std::ostream& out, const BenchmarkRunner& runner, const BenchResul
     out << "# stm_aborts=" << result.stm.aborts << "\n";
     out << "# stm_validation_steps=" << result.stm.validation_steps << "\n";
     out << "# stm_bytes_cloned=" << result.stm.bytes_cloned << "\n";
+    out << "# stm_ro_aborts=" << result.stm.ro_aborts << "\n";
   }
   out << "op,category,read_only,ratio,completed,failed,max_ms,mean_ms,p50_ms,p90_ms,p99_ms\n";
   for (size_t i = 0; i < ops.size(); ++i) {

@@ -1,0 +1,180 @@
+#include "src/mvstm/mvstm.h"
+
+#include <algorithm>
+
+#include "src/common/diag.h"
+#include "src/ebr/ebr.h"
+#include "src/mvstm/version_chain.h"
+
+namespace sb7 {
+
+std::unique_ptr<TxImplBase> MvStm::CreateTx() { return std::make_unique<MvTx>(stats()); }
+
+void MvTx::SetReadOnly(bool read_only) {
+  // Called once per RunAtomically execution, before the first attempt.
+  hint_read_only_ = read_only;
+  demoted_ = false;
+}
+
+void MvTx::BeginAttempt() {
+  read_only_ = hint_read_only_ && !demoted_;
+  if (read_only_) {
+    // Passing through a quiescent state here (a) lazily registers the thread
+    // with the EBR domain and (b) is the last quiescence until the
+    // transaction ends, so every version node retired from now on survives
+    // until this snapshot read is over. Must precede the clock read: the
+    // grace-period argument in version_chain.h needs start_ts_ >= the commit
+    // timestamp of any node whose retirement we failed to observe.
+    EbrDomain::Global().Quiesce();
+  }
+  start_ts_ = LockTable::ClockNow();
+  read_set_.clear();
+  write_log_.clear();
+  write_index_.clear();
+  acquired_.clear();
+  local_reads_ = local_writes_ = local_validation_steps_ = 0;
+}
+
+void MvTx::FlushLocalStats() {
+  stats_.reads.fetch_add(local_reads_, std::memory_order_relaxed);
+  stats_.writes.fetch_add(local_writes_, std::memory_order_relaxed);
+  stats_.validation_steps.fetch_add(local_validation_steps_, std::memory_order_relaxed);
+}
+
+uint64_t MvTx::Read(const TxFieldBase& field) {
+  ++local_reads_;
+  if (read_only_) {
+    return VersionChain::ReadAtSnapshot(field, start_ts_);
+  }
+  if (!write_index_.empty()) {
+    auto it = write_index_.find(&field);
+    if (it != write_index_.end()) {
+      return write_log_[it->second].value;
+    }
+  }
+  const std::atomic<uint64_t>& stripe = LockTable::Global().StripeOf(field);
+  const uint64_t pre = stripe.load(std::memory_order_acquire);
+  const uint64_t value = field.LoadRaw(std::memory_order_acquire);
+  const uint64_t post = stripe.load(std::memory_order_acquire);
+  if (LockTable::IsLocked(pre) || pre != post || LockTable::VersionOf(pre) > start_ts_) {
+    throw TxAborted{};
+  }
+  read_set_.push_back(&stripe);
+  return value;
+}
+
+void MvTx::Write(TxFieldBase& field, uint64_t value) {
+  if (read_only_) {
+    // The read-only promise was wrong (a mislabeled operation). The snapshot
+    // path recorded no read set, so the attempt cannot be upgraded in place;
+    // abort once and rerun every later attempt in update mode.
+    demoted_ = true;
+    throw TxAborted{};
+  }
+  ++local_writes_;
+  auto [it, inserted] = write_index_.try_emplace(&field, write_log_.size());
+  if (inserted) {
+    write_log_.push_back(WriteEntry{&field, value});
+  } else {
+    write_log_[it->second].value = value;
+  }
+}
+
+bool MvTx::AcquireWriteStripes() {
+  // Sorted by address so concurrent committers collide cleanly (see Tl2Tx).
+  std::vector<std::atomic<uint64_t>*> stripes;
+  stripes.reserve(write_log_.size());
+  for (const WriteEntry& entry : write_log_) {
+    stripes.push_back(&LockTable::Global().StripeOf(*entry.field));
+  }
+  std::sort(stripes.begin(), stripes.end());
+  stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+
+  acquired_.reserve(stripes.size());
+  for (std::atomic<uint64_t>* stripe : stripes) {
+    uint64_t word = stripe->load(std::memory_order_acquire);
+    if (LockTable::IsLocked(word) ||
+        !stripe->compare_exchange_strong(word, LockTable::MakeLocked(this),
+                                         std::memory_order_acq_rel)) {
+      ReleaseAcquired(0, /*use_saved=*/true);
+      return false;
+    }
+    acquired_.push_back(AcquiredStripe{stripe, word});
+  }
+  return true;
+}
+
+void MvTx::ReleaseAcquired(uint64_t unlock_version, bool use_saved) {
+  for (const AcquiredStripe& held : acquired_) {
+    held.stripe->store(use_saved ? held.saved_word : LockTable::MakeVersion(unlock_version),
+                       std::memory_order_release);
+  }
+  acquired_.clear();
+}
+
+bool MvTx::ValidateReadSet() {
+  local_validation_steps_ += static_cast<int64_t>(read_set_.size());
+  for (const std::atomic<uint64_t>* stripe : read_set_) {
+    const uint64_t word = stripe->load(std::memory_order_acquire);
+    uint64_t effective = word;
+    if (LockTable::IsLocked(word)) {
+      if (LockTable::OwnerOf(word) != this) {
+        return false;
+      }
+      // Locked by our own commit: validate against the pre-lock version (a
+      // rival may have committed between our read and our lock acquisition).
+      const auto it = std::lower_bound(
+          acquired_.begin(), acquired_.end(), stripe,
+          [](const AcquiredStripe& held, const std::atomic<uint64_t>* key) {
+            return held.stripe < key;
+          });
+      SB7_DCHECK(it != acquired_.end() && it->stripe == stripe);
+      effective = it->saved_word;
+    }
+    if (LockTable::VersionOf(effective) > start_ts_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MvTx::TryCommit() {
+  if (read_only_ || write_log_.empty()) {
+    // Snapshot reads are consistent at start_ts_ by construction; update-mode
+    // reads were validated per read against start_ts_. Either way a
+    // write-free transaction serializes at its start point.
+    FlushLocalStats();
+    RunCommitHooks();
+    return true;
+  }
+  if (!AcquireWriteStripes()) {
+    FlushLocalStats();
+    RunAbortHooks();
+    return false;
+  }
+  const uint64_t wv = LockTable::ClockAdvance();
+  if (wv != start_ts_ + 1 && !ValidateReadSet()) {
+    ReleaseAcquired(0, /*use_saved=*/true);
+    FlushLocalStats();
+    RunAbortHooks();
+    return false;
+  }
+  // Past this point the commit cannot fail: publish the versions. Publishing
+  // before the stripes unlock is what lets a concurrent snapshot reader with
+  // start_ts >= wv proceed without waiting for the unlock.
+  for (const WriteEntry& entry : write_log_) {
+    VersionChain::Publish(*entry.field, entry.value, wv);
+  }
+  ReleaseAcquired(wv, /*use_saved=*/false);
+  FlushLocalStats();
+  RunCommitHooks();
+  return true;
+}
+
+void MvTx::AbortSelf() {
+  SB7_DCHECK(acquired_.empty());
+  FlushLocalStats();
+  RunAbortHooks();
+}
+
+}  // namespace sb7

@@ -1,0 +1,94 @@
+// Multi-version STM ("mvstm"): timestamped version lists in the spirit of
+// LSA / SwissTM, layered on the shared striped lock table and global clock.
+//
+// Two execution modes per transaction, chosen by the retry loop's read-only
+// hint (Operation::read_only() via StmStrategy):
+//
+//   * Read-only: pin start_ts = ClockNow() at begin, serve every read from
+//     the newest version with commit_ts <= start_ts (VersionChain). No read
+//     set, no validation, no aborts — the long-traversal pathology that
+//     collapses invisible-read STMs (§5 of the paper) disappears by
+//     construction.
+//   * Update: TL2-style invisible reads with per-read validation and a redo
+//     log, committed under sorted per-stripe locks at a fresh clock tick;
+//     each written field additionally publishes a {value, commit_ts} version
+//     node for concurrent and future snapshot readers.
+//
+// A body that writes despite the read-only hint is demoted: the attempt
+// aborts once and every later attempt of that execution runs in update mode.
+
+#ifndef STMBENCH7_SRC_MVSTM_MVSTM_H_
+#define STMBENCH7_SRC_MVSTM_MVSTM_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/stm/lock_table.h"
+#include "src/stm/stm.h"
+
+namespace sb7 {
+
+class MvStm : public Stm {
+ public:
+  std::string_view name() const override { return "mvstm"; }
+
+ protected:
+  std::unique_ptr<TxImplBase> CreateTx() override;
+};
+
+class MvTx : public TxImplBase {
+ public:
+  explicit MvTx(StmStats& stats) : stats_(stats) {}
+
+  void SetReadOnly(bool read_only) override;
+  void BeginAttempt() override;
+  uint64_t Read(const TxFieldBase& field) override;
+  void Write(TxFieldBase& field, uint64_t value) override;
+  bool TryCommit() override;
+  void AbortSelf() override;
+
+  // True while the current attempt serves reads from the pinned snapshot.
+  bool snapshot_mode() const { return read_only_; }
+  uint64_t start_ts() const { return start_ts_; }
+
+ private:
+  struct WriteEntry {
+    TxFieldBase* field;
+    uint64_t value;
+  };
+
+  bool AcquireWriteStripes();
+  void ReleaseAcquired(uint64_t unlock_version, bool use_saved);
+  bool ValidateReadSet();
+  void FlushLocalStats();
+
+  StmStats& stats_;
+
+  // Mode for the current RunAtomically execution.
+  bool hint_read_only_ = false;
+  bool demoted_ = false;     // body wrote under the read-only hint
+  bool read_only_ = false;   // effective mode of the current attempt
+
+  // Snapshot timestamp (read-only mode) / TL2 read version (update mode).
+  uint64_t start_ts_ = 0;
+
+  std::vector<const std::atomic<uint64_t>*> read_set_;
+  std::vector<WriteEntry> write_log_;
+  std::unordered_map<const TxFieldBase*, size_t> write_index_;
+
+  struct AcquiredStripe {
+    std::atomic<uint64_t>* stripe;
+    uint64_t saved_word;  // pre-lock word, restored on failed commit
+  };
+  std::vector<AcquiredStripe> acquired_;
+
+  int64_t local_reads_ = 0;
+  int64_t local_writes_ = 0;
+  int64_t local_validation_steps_ = 0;
+};
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_MVSTM_MVSTM_H_

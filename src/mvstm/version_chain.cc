@@ -1,0 +1,104 @@
+#include "src/mvstm/version_chain.h"
+
+#include <atomic>
+
+#include "src/common/diag.h"
+#include "src/ebr/ebr.h"
+#include "src/stm/lock_table.h"
+#include "src/stm/stm.h"
+
+namespace sb7 {
+
+namespace internal {
+
+void FreeMvHistoryHead(void* head) { delete static_cast<MvVersion*>(head); }
+
+}  // namespace internal
+
+void VersionChain::Publish(TxFieldBase& field, uint64_t value, uint64_t commit_ts) {
+  auto* old_head = static_cast<MvVersion*>(field.LoadMvHistory(std::memory_order_relaxed));
+  if (old_head == nullptr) {
+    // First write ever: synthesize the pre-history version so that readers
+    // with a start timestamp below `commit_ts` still find their snapshot.
+    old_head = new MvVersion{field.LoadRaw(std::memory_order_relaxed), 0, nullptr};
+  }
+  auto* node = new MvVersion{value, commit_ts, old_head};
+  // Publish the version before the in-place word: a reader that sees the new
+  // word but a null history head would misattribute it to the pre-history
+  // snapshot (see the chain-empty fallback in ReadAtSnapshot).
+  field.StoreMvHistory(node, std::memory_order_release);
+  field.StoreRaw(value, std::memory_order_release);
+  // The displaced node stays reachable (node->next) for the read-only
+  // transactions that still need it; EBR frees it only once every registered
+  // thread has quiesced, i.e. once those transactions have finished. Later
+  // transactions pin start_ts >= commit_ts and stop their walk at `node`.
+  EbrDomain::Global().RetireObject(old_head);
+}
+
+uint64_t VersionChain::ReadAtSnapshot(const TxFieldBase& field, uint64_t snapshot_ts) {
+  // Safety hinges on the commit protocol's lock-before-clock-advance order
+  // (MvTx::TryCommit, as in TL2): a commit with timestamp wv holds all its
+  // stripe locks before the clock can reach wv. Hence, for any reader whose
+  // snapshot_ts came from the clock, an UNLOCKED stripe proves that every
+  // commit to it with timestamp <= snapshot_ts has fully published its
+  // versions — the word and the chain can be trusted. A LOCKED stripe may
+  // carry an in-flight commit that belongs in this snapshot, so the reader
+  // waits out the (short) publish+release window instead of serving a
+  // possibly pre-commit state. Waiting is not aborting: the reader stays
+  // abort-free, it is merely not wait-free across a rival's commit point.
+  const std::atomic<uint64_t>& stripe = LockTable::Global().StripeOf(field);
+  for (int attempt = 0;; ++attempt) {
+    Backoff::Pause(attempt);
+    const uint64_t pre = stripe.load(std::memory_order_acquire);
+    if (LockTable::IsLocked(pre)) {
+      continue;
+    }
+    if (LockTable::VersionOf(pre) <= snapshot_ts) {
+      // The stripe's newest commit is within the snapshot: the in-place word
+      // is the snapshot value. The post-check rejects words torn by a commit
+      // that locked the stripe between the two loads.
+      const uint64_t word = field.LoadRaw(std::memory_order_acquire);
+      if (stripe.load(std::memory_order_acquire) == pre) {
+        return word;
+      }
+      continue;
+    }
+    // Stripe newer than the snapshot (possibly on behalf of a colliding
+    // field) but unlocked: the version this reader needs is already in the
+    // chain. Load the word BEFORE the history head: writers publish the head
+    // before the word, so a null head here proves the word read below
+    // predates every committed write to this field — it is the pre-history
+    // value, committed at ts 0.
+    const uint64_t word = field.LoadRaw(std::memory_order_acquire);
+    const auto* node =
+        static_cast<const MvVersion*>(field.LoadMvHistory(std::memory_order_acquire));
+    if (node == nullptr) {
+      return word;
+    }
+    for (; node != nullptr; node = node->next) {
+      if (node->commit_ts <= snapshot_ts) {
+        return node->value;
+      }
+    }
+    // Unreachable: every chain bottoms out at a version with commit_ts 0.
+    SB7_CHECK(false && "mvstm: version chain missing snapshot version");
+  }
+}
+
+namespace {
+std::atomic<int64_t> g_live_mv_nodes{0};
+}  // namespace
+
+void* MvVersion::operator new(size_t size) {
+  g_live_mv_nodes.fetch_add(1, std::memory_order_relaxed);
+  return ::operator new(size);
+}
+
+void MvVersion::operator delete(void* ptr) {
+  g_live_mv_nodes.fetch_sub(1, std::memory_order_relaxed);
+  ::operator delete(ptr);
+}
+
+int64_t MvVersion::LiveNodeCount() { return g_live_mv_nodes.load(std::memory_order_relaxed); }
+
+}  // namespace sb7

@@ -152,9 +152,17 @@ inline thread_local Transaction* tls_current_tx = nullptr;
 inline Transaction* CurrentTx() { return tls_current_tx; }
 inline void SetCurrentTx(Transaction* tx) { tls_current_tx = tx; }
 
+namespace internal {
+// Defined in src/mvstm/version_chain.cc. Frees the head node of a field's
+// multi-version history; all older nodes were retired through EBR when they
+// were displaced, so destruction owns exactly the head node.
+void FreeMvHistoryHead(void* head);
+}  // namespace internal
+
 // Untyped shared word. The word doubles as the in-place value for every STM
 // flavour; per-location versioning lives in the global striped lock table
-// (word STMs) or in the owning TmUnit (object STM).
+// (word STMs), in the owning TmUnit (object STM), or in the per-field version
+// chain (multi-version STM).
 class TxFieldBase {
  public:
   TxFieldBase(TmUnit& owner, uint64_t initial) : word_(initial), owner_(&owner) {
@@ -162,6 +170,13 @@ class TxFieldBase {
   }
   TxFieldBase(const TxFieldBase&) = delete;
   TxFieldBase& operator=(const TxFieldBase&) = delete;
+  ~TxFieldBase() {
+    // Destruction implies exclusivity (objects are unlinked by a committed
+    // transaction and reclaimed through EBR before their fields die).
+    if (void* head = mv_history_.load(std::memory_order_relaxed)) {
+      internal::FreeMvHistoryHead(head);
+    }
+  }
 
   TmUnit& owner() const { return *owner_; }
   size_t index_in_unit() const { return index_in_unit_; }
@@ -175,8 +190,20 @@ class TxFieldBase {
     word_.store(value, order);
   }
 
+  // --- multi-version hook (mvstm backend) ---
+  // Head of this field's committed-version history, managed by
+  // src/mvstm/version_chain.*. Null until the mvstm backend first writes the
+  // field; only ever stored while holding the field's stripe lock.
+  void* LoadMvHistory(std::memory_order order = std::memory_order_acquire) const {
+    return mv_history_.load(order);
+  }
+  void StoreMvHistory(void* head, std::memory_order order = std::memory_order_release) {
+    mv_history_.store(head, order);
+  }
+
  private:
   std::atomic<uint64_t> word_;
+  std::atomic<void*> mv_history_{nullptr};
   TmUnit* owner_;
   size_t index_in_unit_ = 0;
 };

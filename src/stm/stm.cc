@@ -64,9 +64,13 @@ TxImplBase& Stm::LocalTx() {
   return *tls_tx_cache.back().tx;
 }
 
-void Stm::RunAtomically(const std::function<void(Transaction&)>& body) {
+void Stm::RunAtomically(const std::function<void(Transaction&)>& body, bool read_only) {
   TxImplBase& tx = LocalTx();
+  tx.SetReadOnly(read_only);
   stats_.starts.fetch_add(1, std::memory_order_relaxed);
+  if (read_only) {
+    stats_.ro_starts.fetch_add(1, std::memory_order_relaxed);
+  }
   for (int attempt = 0;; ++attempt) {
     Backoff::Pause(attempt);
     tx.BeginAttempt();
@@ -76,6 +80,9 @@ void Stm::RunAtomically(const std::function<void(Transaction&)>& body) {
       SetCurrentTx(nullptr);
       if (tx.TryCommit()) {
         stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        if (read_only) {
+          stats_.ro_commits.fetch_add(1, std::memory_order_relaxed);
+        }
         return;
       }
     } catch (const TxAborted&) {
@@ -87,10 +94,16 @@ void Stm::RunAtomically(const std::function<void(Transaction&)>& body) {
       SetCurrentTx(nullptr);
       if (tx.TryCommit()) {
         stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        if (read_only) {
+          stats_.ro_commits.fetch_add(1, std::memory_order_relaxed);
+        }
         throw;
       }
     }
     stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    if (read_only) {
+      stats_.ro_aborts.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 

@@ -23,31 +23,43 @@
 namespace sb7 {
 
 // Aggregate counters, written by transactions at commit/abort boundaries.
+// Each hot counter sits on its own cache line: worker threads bump different
+// counters concurrently, and false sharing here measurably perturbs the very
+// throughput numbers the harness exists to report.
 struct StmStats {
-  std::atomic<int64_t> starts{0};
-  std::atomic<int64_t> commits{0};
-  std::atomic<int64_t> aborts{0};
-  std::atomic<int64_t> reads{0};
-  std::atomic<int64_t> writes{0};
+  alignas(64) std::atomic<int64_t> starts{0};
+  alignas(64) std::atomic<int64_t> commits{0};
+  alignas(64) std::atomic<int64_t> aborts{0};
+  alignas(64) std::atomic<int64_t> reads{0};
+  alignas(64) std::atomic<int64_t> writes{0};
   // Read-set entries re-checked during incremental validation; the O(k^2)
   // signature of invisible-read STMs shows up here.
-  std::atomic<int64_t> validation_steps{0};
+  alignas(64) std::atomic<int64_t> validation_steps{0};
   // Bytes copied by object-granular write-open cloning (ASTM only).
-  std::atomic<int64_t> bytes_cloned{0};
+  alignas(64) std::atomic<int64_t> bytes_cloned{0};
   // Transactions aborted by a contention manager on behalf of another.
-  std::atomic<int64_t> kills{0};
+  alignas(64) std::atomic<int64_t> kills{0};
+  // Transactions executed with the read-only hint (the snapshot path under
+  // mvstm). ro_aborts staying at zero under concurrent writers is the
+  // defining property of the multi-version backend.
+  alignas(64) std::atomic<int64_t> ro_starts{0};
+  alignas(64) std::atomic<int64_t> ro_commits{0};
+  alignas(64) std::atomic<int64_t> ro_aborts{0};
 
   struct View {
     int64_t starts, commits, aborts, reads, writes, validation_steps, bytes_cloned, kills;
+    int64_t ro_starts, ro_commits, ro_aborts;
   };
   View Snapshot() const {
-    return View{starts.load(),          commits.load(), aborts.load(),
-                reads.load(),           writes.load(),  validation_steps.load(),
-                bytes_cloned.load(),    kills.load()};
+    return View{starts.load(),       commits.load(),    aborts.load(),
+                reads.load(),        writes.load(),     validation_steps.load(),
+                bytes_cloned.load(), kills.load(),      ro_starts.load(),
+                ro_commits.load(),   ro_aborts.load()};
   }
   void Reset() {
     starts = commits = aborts = reads = writes = 0;
     validation_steps = bytes_cloned = kills = 0;
+    ro_starts = ro_commits = ro_aborts = 0;
   }
 };
 
@@ -63,6 +75,10 @@ class TxImplBase : public Transaction {
   virtual bool TryCommit() = 0;
   // Rolls back the attempt (used when the body threw TxAborted).
   virtual void AbortSelf() = 0;
+  // Hint installed by the retry loop before the first BeginAttempt: the body
+  // performs no writes. Backends may use it to serve all reads from a
+  // consistent snapshot (mvstm); the default ignores it.
+  virtual void SetReadOnly(bool read_only) { (void)read_only; }
 };
 
 // Exponential backoff with jitter. On this benchmark's single-core hosts the
@@ -83,7 +99,10 @@ class Stm {
 
   // Executes `body` atomically, retrying on conflicts. Exceptions other than
   // TxAborted propagate once the enclosing transaction commits (see above).
-  void RunAtomically(const std::function<void(Transaction&)>& body);
+  // `read_only` is a caller promise that the body performs no transactional
+  // writes (the driver derives it from Operation::read_only()); backends that
+  // support snapshot reads execute such bodies without validation or aborts.
+  void RunAtomically(const std::function<void(Transaction&)>& body, bool read_only = false);
 
   StmStats& stats() { return stats_; }
   const StmStats& stats() const { return stats_; }

@@ -1,5 +1,6 @@
 #include "src/stm/stm_factory.h"
 
+#include "src/mvstm/mvstm.h"
 #include "src/stm/astm.h"
 #include "src/stm/norec.h"
 #include "src/stm/tinystm.h"
@@ -10,6 +11,9 @@ namespace sb7 {
 std::unique_ptr<Stm> MakeStm(std::string_view name, std::string_view contention_manager) {
   if (name == "tl2") {
     return std::make_unique<Tl2Stm>();
+  }
+  if (name == "mvstm") {
+    return std::make_unique<MvStm>();
   }
   if (name == "tinystm") {
     return std::make_unique<TinyStm>();

@@ -10,9 +10,10 @@
 
 namespace sb7 {
 
-// `name` is one of "tl2", "tinystm", "norec", "astm". For "astm", `contention_manager`
-// selects the arbiter ("polka", "karma", "aggressive", "timid"). Returns
-// nullptr for unknown names.
+// `name` is one of "tl2", "tinystm", "norec", "astm", "mvstm". For "astm",
+// `contention_manager` selects the arbiter ("polka", "karma", "aggressive",
+// "timid"); an unknown manager name makes construction fail. Word STMs
+// ignore `contention_manager`. Returns nullptr for unknown names.
 std::unique_ptr<Stm> MakeStm(std::string_view name, std::string_view contention_manager = "polka");
 
 }  // namespace sb7

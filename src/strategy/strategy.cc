@@ -49,8 +49,10 @@ StmStrategy::StmStrategy(std::unique_ptr<Stm> stm) : stm_(std::move(stm)) {
 int64_t StmStrategy::Execute(const Operation& op, DataHolder& dh, Rng& rng) {
   int64_t result = 0;
   // OperationFailed thrown by the body propagates out of RunAtomically only
-  // after the enclosing transaction commits (see Stm::RunAtomically).
-  stm_->RunAtomically([&](Transaction&) { result = op.Run(dh, rng); });
+  // after the enclosing transaction commits (see Stm::RunAtomically). The
+  // operation's read-only flag routes traversals onto the snapshot path of
+  // multi-version backends.
+  stm_->RunAtomically([&](Transaction&) { result = op.Run(dh, rng); }, op.read_only());
   return result;
 }
 

@@ -74,15 +74,16 @@ class StmStrategy : public SyncStrategy {
   std::unique_ptr<Stm> stm_;
 };
 
-// "coarse" | "medium" | "tl2" | "tinystm" | "astm"; nullptr for unknown
-// names. `contention_manager` applies to "astm" only.
+// "coarse" | "medium" | "fine" | "tl2" | "tinystm" | "norec" | "astm" |
+// "mvstm"; nullptr for unknown names. `contention_manager` applies to "astm"
+// only.
 std::unique_ptr<SyncStrategy> MakeStrategy(std::string_view name,
                                            std::string_view contention_manager = "polka");
 
 // The index implementation each strategy uses by default: std::map under
 // locks (the java.util analogue), the naive single-object snapshot under the
 // ASTM port (§5's configuration), node-granular skip lists under the word
-// STMs.
+// STMs (tl2, tinystm, norec, mvstm).
 IndexKind DefaultIndexKindFor(std::string_view strategy_name);
 
 }  // namespace sb7

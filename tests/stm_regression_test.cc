@@ -50,12 +50,16 @@ TEST(LockTableTest, StripeIsStablePerField) {
   EXPECT_EQ(&s1, &s2);
 }
 
-// Regression: TL2 read-set validation must reject a stripe the transaction
-// itself locked at commit when a rival committed to it *between the read and
-// the lock acquisition*. Before the fix, locked-by-self stripes skipped the
-// version check entirely, losing updates (increments vanished).
-TEST(Tl2RegressionTest, ReadModifyWriteNeverLosesUpdates) {
-  Tl2Stm stm;
+// Regression: TL2-style read-set validation must reject a stripe the
+// transaction itself locked at commit when a rival committed to it *between
+// the read and the lock acquisition*. Before the fix, locked-by-self stripes
+// skipped the version check entirely, losing updates (increments vanished).
+// mvstm's update path shares the commit protocol, so it is swept too.
+class CommitLockRegressionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CommitLockRegressionTest, ReadModifyWriteNeverLosesUpdates) {
+  auto stm = MakeStm(GetParam());
+  ASSERT_NE(stm, nullptr);
   Cell cell(0);
   constexpr int kThreads = 4;
   constexpr int kIncrementsPerThread = 20'000;
@@ -63,7 +67,7 @@ TEST(Tl2RegressionTest, ReadModifyWriteNeverLosesUpdates) {
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&] {
       for (int i = 0; i < kIncrementsPerThread; ++i) {
-        stm.RunAtomically([&](Transaction&) { cell.value.Set(cell.value.Get() + 1); });
+        stm->RunAtomically([&](Transaction&) { cell.value.Set(cell.value.Get() + 1); });
       }
     });
   }
@@ -71,6 +75,53 @@ TEST(Tl2RegressionTest, ReadModifyWriteNeverLosesUpdates) {
     worker.join();
   }
   EXPECT_EQ(cell.value.Get(), kThreads * kIncrementsPerThread);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordStms, CommitLockRegressionTest, ::testing::Values("tl2", "mvstm"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+// The defining mvstm regression: while a writer keeps committing, read-only
+// transactions keep serving snapshots and record zero aborts. Under tl2 the
+// same workload aborts readers whenever a commit lands mid-read — that
+// contrast is exactly the paper's §5 long-traversal collapse.
+TEST(MvstmRegressionTest, ReadOnlyRecordsZeroAbortsWhileWritersCommit) {
+  auto stm = MakeStm("mvstm");
+  ASSERT_NE(stm, nullptr);
+  Cell a(0);
+  Cell b(0);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 1; i <= 20'000; ++i) {
+      stm->RunAtomically([&](Transaction&) {
+        a.value.Set(i);
+        b.value.Set(i);
+      });
+      EbrDomain::Global().Quiesce();
+    }
+    stop = true;
+  });
+  std::atomic<bool> torn{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      stm->RunAtomically(
+          [&](Transaction&) {
+            if (a.value.Get() != b.value.Get()) {
+              torn = true;
+            }
+          },
+          /*read_only=*/true);
+      EbrDomain::Global().Quiesce();
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(torn.load());
+  const StmStats::View view = stm->stats().Snapshot();
+  EXPECT_EQ(view.ro_aborts, 0);
+  EXPECT_GT(view.ro_commits, 0);
+  EXPECT_GE(view.commits, 20'000 + view.ro_commits);  // writers committed throughout
 }
 
 TEST(TinyStmTest, SnapshotExtensionLetsDisjointReadersSurvive) {
@@ -164,12 +215,28 @@ TEST(AstmInternalsTest, PriorityCountsOpens) {
   });
 }
 
+// Pins the contract documented in src/stm/contention.h: exactly four named
+// managers, each reporting the name it was requested under, and nullptr for
+// anything else (no fuzzy matching, no default fallback).
 TEST(ContentionManagerTest, FactoryNamesAndPolicies) {
-  EXPECT_EQ(MakeContentionManager("polka")->name(), "polka");
-  EXPECT_EQ(MakeContentionManager("karma")->name(), "karma");
-  EXPECT_EQ(MakeContentionManager("aggressive")->name(), "aggressive");
-  EXPECT_EQ(MakeContentionManager("timid")->name(), "timid");
+  for (const char* name : {"polka", "karma", "aggressive", "timid"}) {
+    auto manager = MakeContentionManager(name);
+    ASSERT_NE(manager, nullptr) << name;
+    EXPECT_EQ(manager->name(), name);
+  }
   EXPECT_EQ(MakeContentionManager("nope"), nullptr);
+  EXPECT_EQ(MakeContentionManager(""), nullptr);
+  EXPECT_EQ(MakeContentionManager("Polka"), nullptr);  // names are case-sensitive
+}
+
+TEST(ContentionManagerTest, StmFactoryPropagatesUnknownManagerAsNullptr) {
+  // An astm with an unknown arbiter must fail construction, not silently
+  // fall back to a default manager.
+  EXPECT_EQ(MakeStm("astm", "nope"), nullptr);
+  EXPECT_NE(MakeStm("astm", "karma"), nullptr);
+  // Word STMs ignore the manager name entirely.
+  EXPECT_NE(MakeStm("tl2", "nope"), nullptr);
+  EXPECT_NE(MakeStm("mvstm", "nope"), nullptr);
 }
 
 TEST(TxTextTest, CommitAndAbortPathsUnderRealStm) {

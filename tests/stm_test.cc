@@ -1,5 +1,5 @@
-// Correctness properties of the four STM implementations, swept over
-// {tl2, tinystm, norec, astm} with parameterized gtest. These are the invariants an
+// Correctness properties of the five STM implementations, swept over
+// {tl2, tinystm, norec, astm, mvstm} with parameterized gtest. These are the invariants an
 // STM must provide for the benchmark's results to be meaningful: atomicity,
 // consistent (opaque) reads, rollback on abort, hook discipline, and the
 // paper's failure-commit semantics.
@@ -263,7 +263,8 @@ TEST_P(StmTest, StatsCountersAreConsistent) {
   EXPECT_GE(view.writes, 100);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllStms, StmTest, ::testing::Values("tl2", "tinystm", "norec", "astm"),
+INSTANTIATE_TEST_SUITE_P(AllStms, StmTest,
+                         ::testing::Values("tl2", "tinystm", "norec", "astm", "mvstm"),
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            return std::string(info.param);
                          });
@@ -336,7 +337,7 @@ TEST(AstmTest, AggressiveManagerKillsConflictingOwner) {
 }
 
 TEST(AstmTest, WordStmsDoNotPayCloneCosts) {
-  for (const char* name : {"tl2", "tinystm"}) {
+  for (const char* name : {"tl2", "tinystm", "mvstm"}) {
     auto stm = MakeStm(name);
     TmObject holder;
     TxText text(holder.unit(), std::string(50'000, 'y'));

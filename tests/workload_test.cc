@@ -148,6 +148,44 @@ TEST_F(WorkloadTest, Figure6SubsetKeepsAMeaningfulMix) {
   EXPECT_GE(enabled, 15);  // the short-only mix still has plenty of variety
 }
 
+TEST_F(WorkloadTest, DisabledOpsRenormalizeToSumOne) {
+  // Disabling operations across several subgroups must leave a properly
+  // normalized distribution: zero for the disabled, sum exactly one overall.
+  const std::set<std::string> disabled = {"T1", "ST3", "OP7", "SM4"};
+  const auto ratios =
+      ComputeOperationRatios(registry_, WorkloadType::kReadDominated, true, true, disabled);
+  EXPECT_NEAR(SumRatios(ratios), 1.0, 1e-12);
+  const auto& ops = registry_.all();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (disabled.count(ops[i]->name()) > 0) {
+      EXPECT_EQ(ratios[i], 0.0) << ops[i]->name();
+    } else {
+      EXPECT_GT(ratios[i], 0.0) << ops[i]->name();
+    }
+  }
+}
+
+TEST_F(WorkloadTest, CategoryFullyDisabledByNameYieldsZeroWeight) {
+  // Disabling every member of a category by name (not via the category flag)
+  // must zero the whole category's weight and renormalize the rest to one —
+  // the SB7_DCHECK(peers > 0) edge where a subgroup goes empty.
+  std::set<std::string> disabled;
+  const auto& ops = registry_.all();
+  for (const auto& op : ops) {
+    if (op->category() == OpCategory::kLongTraversal) {
+      disabled.insert(op->name());
+    }
+  }
+  ASSERT_FALSE(disabled.empty());
+  const auto ratios = ComputeOperationRatios(registry_, WorkloadType::kReadDominated,
+                                             /*long_traversals=*/true, true, disabled);
+  EXPECT_NEAR(SumRatios(ratios), 1.0, 1e-12);
+  const double long_weight =
+      Fraction(registry_, ratios,
+               [](const Operation& op) { return op.category() == OpCategory::kLongTraversal; });
+  EXPECT_EQ(long_weight, 0.0);
+}
+
 TEST(WorkloadNamesTest, RoundTrip) {
   EXPECT_EQ(WorkloadTypeForName("r"), WorkloadType::kReadDominated);
   EXPECT_EQ(WorkloadTypeForName("rw"), WorkloadType::kReadWrite);
