@@ -1,0 +1,53 @@
+// Scenario sweep: every built-in scenario under tl2 vs mvstm.
+//
+// The interesting contrast is where the multi-version backend's abort-free
+// snapshot reads pay off as the workload shifts phase by phase: write storms
+// and hotspots drive single-version read-only traversals into aborts, while
+// mvstm keeps serving them from snapshots. The sweep prints one row per
+// (scenario, backend, phase) with throughput and read-only abort counts.
+//
+// Environment knobs: SB7_BENCH_SECONDS (total run length per scenario),
+// SB7_BENCH_SCALE, SB7_BENCH_THREADS (the largest value is used).
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "src/harness/report.h"
+#include "src/scenario/scenario.h"
+
+int main() {
+  using namespace sb7;
+  const bench::BenchEnv env = bench::ReadBenchEnv();
+  const int threads = *std::max_element(env.threads.begin(), env.threads.end());
+  bench::PrintHeader("Scenario sweep: built-in scenarios, tl2 vs mvstm", env);
+
+  std::printf("%-12s %-8s %-10s %10s %12s %12s %10s %10s\n", "scenario", "backend", "phase",
+              "elapsed_s", "ops/s", "started/s", "aborts", "ro-aborts");
+  for (const std::string& name : BuiltinScenarioNames()) {
+    for (const char* backend : {"tl2", "mvstm"}) {
+      BenchConfig config;
+      config.strategy = backend;
+      config.scale = env.scale;
+      config.threads = threads;
+      // Total scenario length: one env cell per phase.
+      config.scenario = *FindBuiltinScenario(name);
+      config.length_seconds =
+          env.seconds * static_cast<double>(config.scenario->phases.size());
+
+      const BenchResult result = bench::RunCell(config);
+      for (const PhaseResult& phase : result.phases) {
+        std::printf("%-12s %-8s %-10s %10.2f %12.1f %12.1f %10lld %10lld\n", name.c_str(),
+                    backend, phase.name.c_str(), phase.elapsed_seconds,
+                    phase.SuccessThroughput(), phase.StartedThroughput(),
+                    static_cast<long long>(phase.stm.aborts),
+                    static_cast<long long>(phase.stm.ro_aborts));
+      }
+      std::printf("%-12s %-8s %-10s %10.2f %12.1f %12.1f %10lld %10lld\n", name.c_str(),
+                  backend, "TOTAL", result.elapsed_seconds, result.SuccessThroughput(),
+                  result.StartedThroughput(), static_cast<long long>(result.stm.aborts),
+                  static_cast<long long>(result.stm.ro_aborts));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -7,9 +7,14 @@
 
 namespace sb7 {
 
-TtcHistogram::TtcHistogram(int linear_buckets)
-    : linear_buckets_(linear_buckets), counts_(linear_buckets + kOverflowBuckets, 0) {
+TtcHistogram::TtcHistogram(int linear_buckets) : linear_buckets_(linear_buckets) {
   SB7_CHECK(linear_buckets > 0);
+}
+
+void TtcHistogram::EnsureBuckets() {
+  if (counts_.empty()) {
+    counts_.assign(static_cast<size_t>(linear_buckets_) + kOverflowBuckets, 0);
+  }
 }
 
 int TtcHistogram::BucketFor(int64_t nanos) const {
@@ -38,6 +43,7 @@ void TtcHistogram::Record(int64_t nanos) {
   if (nanos < 0) {
     nanos = 0;
   }
+  EnsureBuckets();
   counts_[BucketFor(nanos)] += 1;
   total_count_ += 1;
   sum_nanos_ += nanos;
@@ -46,8 +52,11 @@ void TtcHistogram::Record(int64_t nanos) {
 
 void TtcHistogram::Merge(const TtcHistogram& other) {
   SB7_CHECK(linear_buckets_ == other.linear_buckets_);
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    counts_[i] += other.counts_[i];
+  if (!other.counts_.empty()) {
+    EnsureBuckets();
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
   }
   total_count_ += other.total_count_;
   sum_nanos_ += other.sum_nanos_;

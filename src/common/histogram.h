@@ -43,6 +43,9 @@ class TtcHistogram {
   // [linear * 2^k, linear * 2^(k+1)) ms, for k in [0, kOverflowBuckets).
   static constexpr int kOverflowBuckets = 24;
 
+  // The bucket array is allocated on first Record/Merge; the harness keeps a
+  // histogram per (thread, phase, operation) and most stay empty.
+  void EnsureBuckets();
   int BucketFor(int64_t nanos) const;
   // Lower bound of bucket `i`, in milliseconds.
   int64_t BucketLowerMillis(int i) const;

@@ -1,0 +1,143 @@
+#include "src/common/hotspot.h"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/common/diag.h"
+
+namespace sb7 {
+namespace {
+
+// The policy is stored in word-sized atomics so the per-draw read is two
+// relaxed loads; the generation counter invalidates the per-thread sampler
+// caches whenever a new policy is published.
+std::atomic<double> g_theta{0.0};
+std::atomic<double> g_hot_fraction{0.1};
+std::atomic<uint64_t> g_generation{0};
+
+// The counters are bumped by every skewed draw from every worker; keep each
+// on its own cache line, away from the policy atomics every draw also reads
+// (same false-sharing treatment as StmStats).
+struct alignas(64) AlignedCounter {
+  std::atomic<int64_t> value{0};
+};
+AlignedCounter g_samples;
+AlignedCounter g_hot_hits;
+
+// Samplers are built once per (policy generation, capacity) in a shared
+// table — the constructor's O(n) harmonic sum must not run on every thread,
+// let alone inside a measured operation (SetHotspotPolicy callers prewarm
+// the table via PrewarmHotspotSamplers). Threads keep a tiny lock-free
+// cache of copies (a sampler is five doubles); a run touches only a handful
+// of pool capacities, so linear search is fine.
+struct SamplerTable {
+  std::mutex mu;
+  uint64_t generation = ~0ull;
+  std::vector<std::pair<int64_t, ZipfianSampler>> samplers;
+};
+
+SamplerTable& GlobalSamplers() {
+  static SamplerTable* table = new SamplerTable;
+  return *table;
+}
+
+ZipfianSampler SharedSampler(int64_t capacity, double theta, uint64_t generation) {
+  SamplerTable& table = GlobalSamplers();
+  std::lock_guard<std::mutex> lock(table.mu);
+  if (table.generation != generation) {
+    table.samplers.clear();
+    table.generation = generation;
+  }
+  for (const auto& entry : table.samplers) {
+    if (entry.first == capacity) {
+      return entry.second;
+    }
+  }
+  table.samplers.emplace_back(capacity,
+                              ZipfianSampler(static_cast<uint64_t>(capacity), theta));
+  return table.samplers.back().second;
+}
+
+struct ThreadSamplerCache {
+  uint64_t generation = ~0ull;
+  std::vector<std::pair<int64_t, ZipfianSampler>> samplers;
+};
+
+const ZipfianSampler& CachedSampler(int64_t capacity, double theta, uint64_t generation) {
+  thread_local ThreadSamplerCache cache;
+  if (cache.generation != generation) {
+    cache.samplers.clear();
+    cache.generation = generation;
+  }
+  for (const auto& entry : cache.samplers) {
+    if (entry.first == capacity) {
+      return entry.second;
+    }
+  }
+  cache.samplers.emplace_back(capacity, SharedSampler(capacity, theta, generation));
+  return cache.samplers.back().second;
+}
+
+}  // namespace
+
+void SetHotspotPolicy(const HotspotPolicy& policy) {
+  SB7_CHECK(policy.theta >= 0.0 && policy.theta < 1.0);
+  SB7_CHECK(policy.hot_fraction > 0.0 && policy.hot_fraction <= 1.0);
+  g_hot_fraction.store(policy.hot_fraction, std::memory_order_relaxed);
+  g_theta.store(policy.theta, std::memory_order_relaxed);
+  g_generation.fetch_add(1, std::memory_order_release);
+}
+
+void ResetHotspotPolicy() { SetHotspotPolicy(HotspotPolicy{}); }
+
+void PrewarmHotspotSamplers(const std::vector<int64_t>& capacities) {
+  const uint64_t generation = g_generation.load(std::memory_order_acquire);
+  const double theta = g_theta.load(std::memory_order_relaxed);
+  if (theta <= 0.0) {
+    return;
+  }
+  for (const int64_t capacity : capacities) {
+    SharedSampler(capacity, theta, generation);
+  }
+}
+
+HotspotPolicy CurrentHotspotPolicy() {
+  HotspotPolicy policy;
+  policy.theta = g_theta.load(std::memory_order_relaxed);
+  policy.hot_fraction = g_hot_fraction.load(std::memory_order_relaxed);
+  return policy;
+}
+
+HotspotCounters ReadHotspotCounters() {
+  HotspotCounters counters;
+  counters.samples = g_samples.value.load(std::memory_order_relaxed);
+  counters.hot_hits = g_hot_hits.value.load(std::memory_order_relaxed);
+  return counters;
+}
+
+int64_t SampleHotspotId(int64_t capacity, Rng& rng) {
+  // Load the generation first (acquire pairs with SetHotspotPolicy's release
+  // bump): a thread that observes the new generation is then guaranteed to
+  // read the new theta, so it can never seed the new generation's shared
+  // sampler table with the previous phase's skew.
+  const uint64_t generation = g_generation.load(std::memory_order_acquire);
+  const double theta = g_theta.load(std::memory_order_relaxed);
+  if (theta <= 0.0) {
+    return 1 + static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(capacity)));
+  }
+  const ZipfianSampler& sampler = CachedSampler(capacity, theta, generation);
+  const int64_t id = 1 + static_cast<int64_t>(sampler.Sample(rng));
+  const double hot_fraction = g_hot_fraction.load(std::memory_order_relaxed);
+  const auto hot_cut = static_cast<int64_t>(
+      std::ceil(hot_fraction * static_cast<double>(capacity)));
+  g_samples.value.fetch_add(1, std::memory_order_relaxed);
+  if (id <= hot_cut) {
+    g_hot_hits.value.fetch_add(1, std::memory_order_relaxed);
+  }
+  return id;
+}
+
+}  // namespace sb7

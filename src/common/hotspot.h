@@ -1,0 +1,57 @@
+// Process-global hotspot policy for random id selection.
+//
+// The benchmark's designed failure source is uniformly random ids in
+// [1, pool.capacity()] (traversal entry points and index keys alike). The
+// scenario engine can replace that uniform choice with a Zipfian one so that
+// accesses concentrate on a hot set of low ids — the objects created when the
+// structure was built, hence almost always live. The policy is published by
+// the phase controller and read by every worker on each id draw; with the
+// policy disabled (theta == 0) the draw consumes exactly one uniform value,
+// bit-identical to the historical uniform RandomId, which the cross-backend
+// equivalence tests rely on.
+
+#ifndef STMBENCH7_SRC_COMMON_HOTSPOT_H_
+#define STMBENCH7_SRC_COMMON_HOTSPOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace sb7 {
+
+struct HotspotPolicy {
+  // Zipf skew in [0, 1); 0 disables the policy (uniform ids).
+  double theta = 0.0;
+  // Ids <= ceil(hot_fraction * capacity) count as "hot" in the counters
+  // below. Reporting only — the skew itself is fully described by theta.
+  double hot_fraction = 0.1;
+};
+
+// Publishes `policy` to all threads (phase boundaries, tests).
+void SetHotspotPolicy(const HotspotPolicy& policy);
+// Restores the uniform default.
+void ResetHotspotPolicy();
+HotspotPolicy CurrentHotspotPolicy();
+
+// Builds the shared Zipfian samplers for these id-space capacities under the
+// currently published policy (no-op when it is uniform). Called right after
+// SetHotspotPolicy so the O(capacity) harmonic precomputation runs at the
+// phase boundary instead of inside the first measured operation.
+void PrewarmHotspotSamplers(const std::vector<int64_t>& capacities);
+
+// Monotonic counters of skewed draws; the phase controller reads deltas.
+// Only draws made while a policy is active are counted.
+struct HotspotCounters {
+  int64_t samples = 0;
+  int64_t hot_hits = 0;
+};
+HotspotCounters ReadHotspotCounters();
+
+// Random id in [1, capacity]: uniform when the policy is disabled, Zipfian
+// over the id space otherwise (rank 0 -> id 1, so low ids are hot).
+int64_t SampleHotspotId(int64_t capacity, Rng& rng);
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_COMMON_HOTSPOT_H_

@@ -1,5 +1,7 @@
 #include "src/common/rng.h"
 
+#include <cmath>
+
 #include "src/common/diag.h"
 
 namespace sb7 {
@@ -100,6 +102,39 @@ Rng Rng::Split() {
   s_[2] = s2;
   s_[3] = s3;
   return child;
+}
+
+ZipfianSampler::ZipfianSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  SB7_CHECK(n >= 1);
+  SB7_CHECK(theta >= 0.0 && theta < 1.0);
+  zetan_ = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  half_pow_theta_ = std::pow(0.5, theta_);
+  const double zeta2 = 1.0 + half_pow_theta_;
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfianSampler::Sample(Rng& rng) const {
+  // Every call consumes exactly one uniform draw, so callers stay
+  // stream-deterministic regardless of the value sampled.
+  const double u = rng.NextDouble();
+  if (theta_ == 0.0 || n_ == 1) {
+    return static_cast<uint64_t>(u * static_cast<double>(n_));
+  }
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + half_pow_theta_) {
+    return 1;
+  }
+  const auto rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
 }
 
 }  // namespace sb7

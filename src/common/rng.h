@@ -48,6 +48,30 @@ class Rng {
   uint64_t s_[4];
 };
 
+// Zipfian-distributed ranks in [0, n): rank r is drawn with probability
+// proportional to 1 / (r+1)^theta, so low ranks form a configurable hot set.
+// Uses the Gray et al. / YCSB closed-form inversion, which needs one uniform
+// draw per sample after an O(n) harmonic precomputation at construction.
+// theta must lie in [0, 1); theta == 0 degenerates to the uniform
+// distribution. Sampling is deterministic given the Rng stream.
+class ZipfianSampler {
+ public:
+  ZipfianSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;  // generalized harmonic number H_{n,theta}
+  double half_pow_theta_;  // pow(0.5, theta), hoisted off the sampling path
+  double alpha_;
+  double eta_;
+};
+
 }  // namespace sb7
 
 #endif  // STMBENCH7_SRC_COMMON_RNG_H_

@@ -1,5 +1,7 @@
 #include "src/common/text.h"
 
+#include <cstdlib>
+
 #include "src/common/diag.h"
 
 namespace sb7 {
@@ -80,6 +82,26 @@ std::string BuildDocumentText(int64_t part_id, int size) {
 std::string BuildManualText(int64_t module_id, int size) {
   const std::string sentence = "I am the manual for module #" + std::to_string(module_id) + ". ";
   return RepeatToSize(sentence, size);
+}
+
+bool ParseInt64(const std::string& text, int64_t& out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0') {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double& out) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0') {
+    return false;
+  }
+  out = value;
+  return true;
 }
 
 }  // namespace sb7

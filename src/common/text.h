@@ -38,6 +38,11 @@ std::string BuildDocumentText(int64_t part_id, int size);
 // Manual body for module `module_id`, at least `size` characters.
 std::string BuildManualText(int64_t module_id, int size);
 
+// Strict whole-string number parsing, shared by the CLI and the scenario
+// spec parser: false on empty input or any trailing garbage.
+bool ParseInt64(const std::string& text, int64_t& out);
+bool ParseDouble(const std::string& text, double& out);
+
 }  // namespace sb7
 
 #endif  // STMBENCH7_SRC_COMMON_TEXT_H_

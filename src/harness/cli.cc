@@ -1,33 +1,10 @@
 #include "src/harness/cli.h"
 
-#include <cstdlib>
-
+#include "src/common/text.h"
+#include "src/scenario/scenario.h"
 #include "src/stm/contention.h"
 
 namespace sb7 {
-namespace {
-
-bool ParseInt(const std::string& text, int64_t& out) {
-  char* end = nullptr;
-  const long long value = std::strtoll(text.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || text.empty()) {
-    return false;
-  }
-  out = value;
-  return true;
-}
-
-bool ParseDouble(const std::string& text, double& out) {
-  char* end = nullptr;
-  const double value = std::strtod(text.c_str(), &end);
-  if (end == nullptr || *end != '\0' || text.empty()) {
-    return false;
-  }
-  out = value;
-  return true;
-}
-
-}  // namespace
 
 std::string UsageText() {
   return R"(usage: stmbench7 [options]
@@ -46,7 +23,11 @@ std::string UsageText() {
   --short-only           apply the paper's Figure-6 operation subset
   --max-ops <n>          stop after n started operations
   --read-ratio <f>       custom read-only share in [0,1] (overrides -w)
+  --read-fraction <f>    alias for --read-ratio
+  --scenario <name|file> phased scenario: steady-read | write-storm | diurnal |
+                         hotspot | ramp, or a key=value spec file (see README)
   --csv <file>           also write a machine-readable CSV report
+  --json <file>          also write a machine-readable JSON report
   --verify               check all structure invariants after the run
   --help                 show this message
 )";
@@ -77,7 +58,7 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
     }
     if (arg == "-t") {
       int64_t threads = 0;
-      if (!next(value) || !ParseInt(value, threads) || threads < 1) {
+      if (!next(value) || !ParseInt64(value, threads) || threads < 1) {
         return fail("-t requires a positive integer");
       }
       config.threads = static_cast<int>(threads);
@@ -114,7 +95,7 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
       config.scale = value;
     } else if (arg == "--seed") {
       int64_t seed = 0;
-      if (!next(value) || !ParseInt(value, seed)) {
+      if (!next(value) || !ParseInt64(value, seed)) {
         return fail("--seed requires an integer");
       }
       config.seed = static_cast<uint64_t>(seed);
@@ -141,22 +122,37 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
         config.disabled_ops.insert(name);
       }
       config.long_traversals = false;
-    } else if (arg == "--read-ratio") {
+    } else if (arg == "--read-ratio" || arg == "--read-fraction") {
       double fraction = 0;
       if (!next(value) || !ParseDouble(value, fraction) || fraction < 0 || fraction > 1) {
-        return fail("--read-ratio requires a number in [0,1]");
+        return fail(arg + " requires a number in [0,1]");
       }
       config.read_fraction = fraction;
+    } else if (arg == "--scenario") {
+      if (!next(value) || value.empty()) {
+        return fail("--scenario requires a built-in name (" + BuiltinScenarioList() +
+                    ") or a spec-file path");
+      }
+      ScenarioParseResult loaded = LoadScenario(value);
+      if (!loaded.scenario.has_value()) {
+        return fail(loaded.error);
+      }
+      config.scenario = std::move(loaded.scenario);
     } else if (arg == "--csv") {
       if (!next(value) || value.empty()) {
         return fail("--csv requires a file path");
       }
       config.csv_path = value;
+    } else if (arg == "--json") {
+      if (!next(value) || value.empty()) {
+        return fail("--json requires a file path");
+      }
+      config.json_path = value;
     } else if (arg == "--verify") {
       config.verify_invariants = true;
     } else if (arg == "--max-ops") {
       int64_t cap = 0;
-      if (!next(value) || !ParseInt(value, cap) || cap < 0) {
+      if (!next(value) || !ParseInt64(value, cap) || cap < 0) {
         return fail("--max-ops requires a non-negative integer");
       }
       config.max_operations = cap;

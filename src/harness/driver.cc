@@ -1,14 +1,50 @@
 #include "src/harness/driver.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "src/common/timing.h"
 #include "src/ebr/ebr.h"
 
 namespace sb7 {
+namespace {
+
+// Sleep granularity of the phase controller paths: short enough that phase
+// boundaries and open-loop arrivals land within ~a millisecond.
+constexpr int64_t kPollNanos = 1'000'000;
+
+// An open-loop operation counts as "delayed" only when it started more than
+// one histogram bucket (1 ms) after its scheduled arrival; sub-millisecond
+// lateness is scheduling noise, not queueing.
+constexpr int64_t kDelayedThresholdNanos = 1'000'000;
+
+void SleepNanos(int64_t nanos) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+}
+
+StmStats::View SubtractViews(const StmStats::View& a, const StmStats::View& b) {
+  StmStats::View d;
+  d.starts = a.starts - b.starts;
+  d.commits = a.commits - b.commits;
+  d.aborts = a.aborts - b.aborts;
+  d.reads = a.reads - b.reads;
+  d.writes = a.writes - b.writes;
+  d.validation_steps = a.validation_steps - b.validation_steps;
+  d.bytes_cloned = a.bytes_cloned - b.bytes_cloned;
+  d.kills = a.kills - b.kills;
+  d.ro_starts = a.ro_starts - b.ro_starts;
+  d.ro_commits = a.ro_commits - b.ro_commits;
+  d.ro_aborts = a.ro_aborts - b.ro_aborts;
+  return d;
+}
+
+}  // namespace
 
 BenchmarkRunner::BenchmarkRunner(const BenchConfig& config) : config_(config) {
   SB7_CHECK(config_.threads >= 1);
+  SB7_CHECK(config_.length_seconds > 0);
   strategy_ = MakeStrategy(config_.strategy, config_.contention_manager);
   SB7_CHECK(strategy_ != nullptr);
 
@@ -18,58 +54,264 @@ BenchmarkRunner::BenchmarkRunner(const BenchConfig& config) : config_(config) {
   setup.seed = config_.seed;
   data_ = std::make_unique<DataHolder>(setup);
 
-  const double read_fraction =
+  // Resolve the phase list: the configured scenario, or one implicit
+  // closed-loop phase mirroring the plain CLI settings.
+  Scenario scenario;
+  if (config_.scenario.has_value()) {
+    scenario = *config_.scenario;
+  } else {
+    PhaseSpec main_phase;
+    main_phase.name = "main";
+    scenario.phases.push_back(main_phase);
+  }
+  const double total_weight = scenario.TotalWeight();
+  SB7_CHECK(total_weight > 0);
+
+  const double base_read_fraction =
       config_.read_fraction.value_or(ReadOnlyFraction(config_.workload));
-  ratios_ = ComputeOperationRatios(registry_, read_fraction, config_.long_traversals,
-                                   config_.structure_mods, config_.disabled_ops);
+  spawn_threads_ = config_.scenario.has_value() ? 1 : config_.threads;
+  for (const PhaseSpec& spec : scenario.phases) {
+    auto phase = std::make_unique<PhaseRuntime>();
+    phase->spec = spec;
+    phase->active_threads = spec.threads.value_or(config_.threads);
+    SB7_CHECK(phase->active_threads >= 1);
+    spawn_threads_ = std::max(spawn_threads_, phase->active_threads);
+    phase->read_fraction = spec.read_fraction.value_or(base_read_fraction);
+
+    std::set<std::string> disabled = config_.disabled_ops;
+    disabled.insert(spec.disabled_ops.begin(), spec.disabled_ops.end());
+    phase->ratios = ComputeOperationRatios(
+        registry_, phase->read_fraction,
+        spec.long_traversals.value_or(config_.long_traversals),
+        spec.structure_mods.value_or(config_.structure_mods), disabled);
+
+    phase->duration_nanos = static_cast<int64_t>(config_.length_seconds * 1e9 *
+                                                 spec.duration_weight / total_weight);
+    phases_.push_back(std::move(phase));
+  }
+  accounting_.resize(phases_.size());
+
+  // Run-level mix: phase ratios weighted by phase duration.
+  ratios_.assign(registry_.all().size(), 0.0);
+  for (const auto& phase : phases_) {
+    const double weight = phase->spec.duration_weight / total_weight;
+    for (size_t i = 0; i < ratios_.size(); ++i) {
+      ratios_[i] += weight * phase->ratios[i];
+    }
+  }
 }
 
-void BenchmarkRunner::WorkerLoop(int worker_index, Rng rng, int64_t deadline_nanos,
-                                 std::vector<OpMetrics>& metrics) {
-  (void)worker_index;
+StmStats::View BenchmarkRunner::StmSnapshot() const {
+  Stm* stm = strategy_->stm();
+  return stm != nullptr ? stm->stats().Snapshot() : StmStats::View{};
+}
+
+void BenchmarkRunner::BeginPhaseLocked(int phase_index) {
+  PhaseRuntime& phase = *phases_[phase_index];
+  HotspotPolicy policy;
+  policy.theta = phase.spec.zipf_theta;
+  policy.hot_fraction = phase.spec.hot_fraction;
+  SetHotspotPolicy(policy);
+  // Pay the O(capacity) sampler construction here, at the phase boundary,
+  // not inside the first measured operations of the phase.
+  PrewarmHotspotSamplers({data_->atomic_part_ids().capacity(),
+                          data_->composite_part_ids().capacity(),
+                          data_->base_assembly_ids().capacity(),
+                          data_->complex_assembly_ids().capacity()});
+
+  const int64_t now = NowNanos();
+  phase.start_nanos.store(now, std::memory_order_relaxed);
+  PhaseAccounting& acc = accounting_[phase_index];
+  acc.start_nanos = now;
+  acc.stm_begin = StmSnapshot();
+  acc.hot_begin = ReadHotspotCounters();
+}
+
+void BenchmarkRunner::FinishPhaseLocked(int phase_index) {
+  PhaseAccounting& acc = accounting_[phase_index];
+  acc.end_nanos = NowNanos();
+  acc.stm_end = StmSnapshot();
+  acc.hot_end = ReadHotspotCounters();
+}
+
+void BenchmarkRunner::TryAdvancePhase(int phase_index) {
+  std::lock_guard<std::mutex> lock(phase_mutex_);
+  if (current_phase_.load(std::memory_order_relaxed) != phase_index) {
+    return;  // someone else advanced it first
+  }
+  FinishPhaseLocked(phase_index);
+  const int next = phase_index + 1;
+  if (next < static_cast<int>(phases_.size())) {
+    BeginPhaseLocked(next);
+  } else {
+    ResetHotspotPolicy();
+  }
+  current_phase_.store(next, std::memory_order_release);
+}
+
+void BenchmarkRunner::WorkerLoop(int worker_index, Rng rng,
+                                 std::vector<std::vector<OpMetrics>>& metrics,
+                                 std::vector<PaceMetrics>& pace) {
   const auto& ops = registry_.all();
   const int64_t budget = config_.max_operations;
+  const int phase_count = static_cast<int>(phases_.size());
+  std::vector<PaceState> pace_state(phases_.size());
+
   while (!stop_.load(std::memory_order_relaxed)) {
-    if (NowNanos() >= deadline_nanos) {
+    const int p = current_phase_.load(std::memory_order_acquire);
+    if (p >= phase_count) {
       break;
     }
-    if (budget >= 0 &&
-        started_budget_.fetch_add(1, std::memory_order_relaxed) >= budget) {
+    PhaseRuntime& phase = *phases_[p];
+
+    // Phase end conditions: wall-clock deadline or started-op cap. Every
+    // worker — active or idle — may flip the phase, so a boundary is
+    // observed as soon as any worker is between operations.
+    const int64_t phase_start = phase.start_nanos.load(std::memory_order_relaxed);
+    const bool over_time = NowNanos() >= phase_start + phase.duration_nanos;
+    const bool over_cap =
+        phase.spec.max_ops >= 0 &&
+        phase.executed.load(std::memory_order_relaxed) >= phase.spec.max_ops;
+    if (over_time || over_cap) {
+      TryAdvancePhase(p);
+      continue;
+    }
+
+    if (worker_index >= phase.active_threads) {
+      // Parked for this phase (thread ramp). Stay quiescent so EBR
+      // reclamation keeps making progress.
+      EbrDomain::Global().Quiesce();
+      SleepNanos(kPollNanos / 4);
+      continue;
+    }
+
+    // Claim a phase slot before touching the global budget: workers waiting
+    // out a capped phase must not burn budget that later phases still need.
+    if (phase.spec.max_ops >= 0 &&
+        phase.claimed.fetch_add(1, std::memory_order_relaxed) >= phase.spec.max_ops) {
+      SleepNanos(kPollNanos / 4);  // cap reached; wait for the phase to flip
+      continue;
+    }
+    if (budget >= 0 && started_budget_.fetch_add(1, std::memory_order_relaxed) >= budget) {
+      stop_.store(true, std::memory_order_relaxed);
       break;
     }
-    const int index = SampleOperation(ratios_, rng);
+
+    // Open-loop pacing: wait for this worker's next scheduled arrival.
+    const bool open_loop = phase.spec.arrival != ArrivalModel::kClosed;
+    int64_t arrival = 0;
+    if (open_loop) {
+      PaceState& state = pace_state[p];
+      const double worker_rate =
+          phase.spec.rate_ops_per_sec / static_cast<double>(phase.active_threads);
+      if (state.next_arrival_nanos < 0) {
+        // First arrival of this phase for this worker: start the process at
+        // the later of phase start and now — a worker entering late (still
+        // finishing the previous phase's operation) must not count its own
+        // lateness as queue delay — and stagger Poisson workers by one drawn
+        // gap instead of firing them all at the boundary in lockstep.
+        state.next_arrival_nanos = std::max(phase_start, NowNanos());
+        if (phase.spec.arrival == ArrivalModel::kPoisson) {
+          state.next_arrival_nanos +=
+              static_cast<int64_t>(-std::log1p(-rng.NextDouble()) * 1e9 / worker_rate);
+        }
+      }
+      arrival = state.next_arrival_nanos;
+      int64_t gap = 0;
+      if (phase.spec.arrival == ArrivalModel::kPoisson) {
+        // Exponential inter-arrival gap; exactly one uniform draw per
+        // arrival keeps fixed-seed runs stream-deterministic.
+        gap = static_cast<int64_t>(-std::log1p(-rng.NextDouble()) * 1e9 / worker_rate);
+      } else {
+        // Bursty: batches of burst_size back-to-back arrivals, spaced so
+        // the average rate still meets the target.
+        state.arrival_count += 1;
+        if (state.arrival_count % phase.spec.burst_size == 0) {
+          gap = static_cast<int64_t>(static_cast<double>(phase.spec.burst_size) * 1e9 /
+                                     worker_rate);
+        }
+      }
+      state.next_arrival_nanos = arrival + gap;
+
+      // Wait for the arrival, but never past the phase deadline: with a low
+      // rate every active worker can be parked here, and someone must still
+      // reach the loop top in time to advance the phase.
+      const int64_t phase_deadline = phase_start + phase.duration_nanos;
+      bool interrupted = false;
+      int64_t now = 0;
+      while ((now = NowNanos()) < arrival) {
+        if (now >= phase_deadline || current_phase_.load(std::memory_order_relaxed) != p ||
+            stop_.load(std::memory_order_relaxed)) {
+          interrupted = true;
+          break;
+        }
+        SleepNanos(std::min(arrival - now, kPollNanos));
+      }
+      if (interrupted) {
+        // The phase ended while we waited: drop the arrival and hand its
+        // global-budget claim back — the operation never started.
+        if (budget >= 0) {
+          started_budget_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+    }
+
+    const int index = SampleOperation(phase.ratios, rng);
     const int64_t begin = NowNanos();
+    if (open_loop) {
+      PaceMetrics& pm = pace[p];
+      pm.arrivals += 1;
+      const int64_t delay = begin - arrival;
+      pm.queue_delay.Record(delay > 0 ? delay : 0);
+      if (delay > kDelayedThresholdNanos) {
+        pm.delayed += 1;
+        const double worker_rate =
+            phase.spec.rate_ops_per_sec / static_cast<double>(phase.active_threads);
+        const auto backlog =
+            static_cast<int64_t>(static_cast<double>(delay) / 1e9 * worker_rate);
+        pm.backlog_peak = std::max(pm.backlog_peak, backlog);
+      }
+    }
     try {
       strategy_->Execute(*ops[index], *data_, rng);
-      metrics[index].RecordSuccess(NowNanos() - begin);
+      metrics[p][index].RecordSuccess(NowNanos() - begin);
     } catch (const OperationFailed&) {
-      metrics[index].RecordFailure();
+      metrics[p][index].RecordFailure();
     }
+    phase.executed.fetch_add(1, std::memory_order_relaxed);
     EbrDomain::Global().Quiesce();
   }
 }
 
 BenchResult BenchmarkRunner::Run() {
   const size_t op_count = registry_.all().size();
-  std::vector<std::vector<OpMetrics>> per_thread(config_.threads,
-                                                 std::vector<OpMetrics>(op_count));
+  const size_t phase_count = phases_.size();
+  std::vector<std::vector<std::vector<OpMetrics>>> per_thread(
+      spawn_threads_, std::vector<std::vector<OpMetrics>>(
+                          phase_count, std::vector<OpMetrics>(op_count)));
+  std::vector<std::vector<PaceMetrics>> per_thread_pace(
+      spawn_threads_, std::vector<PaceMetrics>(phase_count));
 
   Rng seeder(config_.seed ^ 0x9d867b3543aa5391ull);
-  const int64_t start = NowNanos();
-  const int64_t deadline =
-      start + static_cast<int64_t>(config_.length_seconds * 1e9);
+  {
+    std::lock_guard<std::mutex> lock(phase_mutex_);
+    BeginPhaseLocked(0);
+  }
+  current_phase_.store(0, std::memory_order_release);
+  const int64_t start = accounting_[0].start_nanos;
 
-  if (config_.threads == 1) {
+  if (spawn_threads_ == 1) {
     // In-thread execution keeps single-threaded runs fully deterministic,
     // which the cross-backend equivalence tests require.
-    WorkerLoop(0, seeder.Split(), deadline, per_thread[0]);
+    WorkerLoop(0, seeder.Split(), per_thread[0], per_thread_pace[0]);
   } else {
     std::vector<std::thread> workers;
-    workers.reserve(config_.threads);
-    for (int t = 0; t < config_.threads; ++t) {
+    workers.reserve(spawn_threads_);
+    for (int t = 0; t < spawn_threads_; ++t) {
       Rng rng = seeder.Split();
-      workers.emplace_back([this, t, rng, deadline, &per_thread]() mutable {
-        WorkerLoop(t, rng, deadline, per_thread[t]);
+      workers.emplace_back([this, t, rng, &per_thread, &per_thread_pace]() mutable {
+        WorkerLoop(t, rng, per_thread[t], per_thread_pace[t]);
       });
     }
     for (std::thread& worker : workers) {
@@ -78,12 +320,51 @@ BenchResult BenchmarkRunner::Run() {
   }
   const int64_t end = NowNanos();
 
+  {
+    // If the run stopped early (global op cap), the live phase was never
+    // closed by a worker; close it so its accounting window is valid.
+    std::lock_guard<std::mutex> lock(phase_mutex_);
+    const int p = current_phase_.load(std::memory_order_relaxed);
+    if (p < static_cast<int>(phase_count)) {
+      FinishPhaseLocked(p);
+      current_phase_.store(static_cast<int>(phase_count), std::memory_order_relaxed);
+    }
+  }
+  ResetHotspotPolicy();
+
   BenchResult result;
   result.per_op.resize(op_count);
-  for (const auto& thread_metrics : per_thread) {
-    for (size_t i = 0; i < op_count; ++i) {
-      result.per_op[i].Merge(thread_metrics[i]);
+  result.phases.resize(config_.scenario.has_value() ? phase_count : 0);
+  for (size_t p = 0; p < phase_count; ++p) {
+    const PhaseRuntime& phase = *phases_[p];
+    const PhaseAccounting& acc = accounting_[p];
+    PhaseResult scratch;
+    PhaseResult& pr = p < result.phases.size() ? result.phases[p] : scratch;
+    pr.name = phase.spec.name;
+    pr.read_fraction = phase.read_fraction;
+    pr.threads = phase.active_threads;
+    pr.arrival = phase.spec.arrival;
+    pr.target_rate = phase.spec.rate_ops_per_sec;
+    pr.zipf_theta = phase.spec.zipf_theta;
+    pr.hot_fraction = phase.spec.hot_fraction;
+    pr.ratios = phase.ratios;
+    pr.per_op.resize(op_count);
+    for (int t = 0; t < spawn_threads_; ++t) {
+      for (size_t i = 0; i < op_count; ++i) {
+        pr.per_op[i].Merge(per_thread[t][p][i]);
+      }
+      pr.pace.Merge(per_thread_pace[t][p]);
     }
+    for (size_t i = 0; i < op_count; ++i) {
+      pr.total_success += pr.per_op[i].success;
+      pr.total_started += pr.per_op[i].started();
+      result.per_op[i].Merge(pr.per_op[i]);
+    }
+    pr.elapsed_seconds =
+        acc.end_nanos > acc.start_nanos ? NanosToSeconds(acc.end_nanos - acc.start_nanos) : 0.0;
+    pr.stm = SubtractViews(acc.stm_end, acc.stm_begin);
+    pr.hot_samples = acc.hot_end.samples - acc.hot_begin.samples;
+    pr.hot_hits = acc.hot_end.hot_hits - acc.hot_begin.hot_hits;
   }
   for (const OpMetrics& metrics : result.per_op) {
     result.total_success += metrics.success;

@@ -1,18 +1,30 @@
 // Benchmark driver: builds the world, spawns uniform worker threads, and
 // collects results (§4: "threads are uniform — each picks its next operation
 // randomly from the whole pool of 45 operations" with the configured ratios).
+//
+// The run loop is phase-aware: a plain run is one implicit closed-loop phase,
+// a scenario run walks the scenario's phase list, swapping operation ratios,
+// active thread count, arrival pacing and hotspot skew at phase boundaries
+// without restarting the worker threads. Any worker that observes the current
+// phase's deadline (or started-op cap) advances the run to the next phase, so
+// the single-threaded mode needs no extra controller thread and stays fully
+// deterministic under a fixed seed.
 
 #ifndef STMBENCH7_SRC_HARNESS_DRIVER_H_
 #define STMBENCH7_SRC_HARNESS_DRIVER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 
+#include "src/common/hotspot.h"
 #include "src/core/data_holder.h"
 #include "src/harness/metrics.h"
 #include "src/harness/workload.h"
+#include "src/scenario/scenario.h"
 #include "src/strategy/strategy.h"
 
 namespace sb7 {
@@ -33,11 +45,19 @@ struct BenchConfig {
   bool structure_mods = true;
   std::set<std::string> disabled_ops;
 
+  // Scenario driving the run (CLI --scenario). Unset = one implicit
+  // closed-loop phase derived from the settings above. Phase overrides win
+  // over the run-level settings; the run length is split across phases
+  // proportionally to their duration weights.
+  std::optional<Scenario> scenario;
+
   bool ttc_histograms = false;
   // Run the structural invariant checker after the benchmark (CLI --verify).
   bool verify_invariants = false;
   // When non-empty, the CLI writes a machine-readable CSV here.
   std::string csv_path;
+  // When non-empty, the CLI writes a machine-readable JSON report here.
+  std::string json_path;
   uint64_t seed = 20070326;
 
   // Optional cap on started operations (whichever of time/cap hits first);
@@ -56,17 +76,66 @@ class BenchmarkRunner {
   DataHolder& data() { return *data_; }
   SyncStrategy& strategy() const { return *strategy_; }
   const OperationRegistry& registry() const { return registry_; }
+  // Phase-duration-weighted mix over the whole run (equals the single
+  // phase's ratios for plain runs).
   const std::vector<double>& ratios() const { return ratios_; }
+  // Number of worker threads actually spawned (the max active count over
+  // all phases; a scenario thread ramp can exceed config().threads).
+  int spawned_threads() const { return spawn_threads_; }
 
  private:
-  void WorkerLoop(int worker_index, Rng rng, int64_t deadline_nanos,
-                  std::vector<OpMetrics>& metrics);
+  // One scenario phase, resolved against the run-level configuration.
+  struct PhaseRuntime {
+    PhaseSpec spec;
+    std::vector<double> ratios;
+    int active_threads = 0;
+    double read_fraction = 0.0;
+    int64_t duration_nanos = 0;
+    std::atomic<int64_t> start_nanos{0};
+    // max_ops bookkeeping: claimed admits workers, executed ends the phase.
+    std::atomic<int64_t> claimed{0};
+    std::atomic<int64_t> executed{0};
+  };
+
+  // Counter snapshots taken at the phase's boundaries by whichever thread
+  // advanced it (guarded by phase_mutex_).
+  struct PhaseAccounting {
+    int64_t start_nanos = 0;
+    int64_t end_nanos = 0;
+    StmStats::View stm_begin = {};
+    StmStats::View stm_end = {};
+    HotspotCounters hot_begin;
+    HotspotCounters hot_end;
+  };
+
+  // Per-worker open-loop pacing state for one phase.
+  struct PaceState {
+    int64_t next_arrival_nanos = -1;  // -1 until the worker enters the phase
+    int64_t arrival_count = 0;
+  };
+
+  void WorkerLoop(int worker_index, Rng rng,
+                  std::vector<std::vector<OpMetrics>>& metrics,  // [phase][op]
+                  std::vector<PaceMetrics>& pace);               // [phase]
+
+  // Closes phase `phase_index` and opens the next one (or ends the run).
+  // No-op when another thread already advanced past it.
+  void TryAdvancePhase(int phase_index);
+  void BeginPhaseLocked(int phase_index);
+  void FinishPhaseLocked(int phase_index);
+  StmStats::View StmSnapshot() const;
 
   BenchConfig config_;
   OperationRegistry registry_;
   std::unique_ptr<SyncStrategy> strategy_;
   std::unique_ptr<DataHolder> data_;
   std::vector<double> ratios_;
+  int spawn_threads_ = 1;
+
+  std::vector<std::unique_ptr<PhaseRuntime>> phases_;
+  std::vector<PhaseAccounting> accounting_;
+  std::mutex phase_mutex_;
+  std::atomic<int> current_phase_{0};
   std::atomic<int64_t> started_budget_{0};
   std::atomic<bool> stop_{false};
 };

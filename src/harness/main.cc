@@ -20,8 +20,13 @@ int main(int argc, char** argv) {
 
   std::cerr << "building the " << cli.config.scale << " structure...\n";
   sb7::BenchmarkRunner runner(cli.config);
-  std::cerr << "running " << cli.config.threads << " thread(s) for "
-            << cli.config.length_seconds << " s under '" << cli.config.strategy << "'...\n";
+  std::cerr << "running " << runner.spawned_threads() << " thread(s) for "
+            << cli.config.length_seconds << " s under '" << cli.config.strategy << "'";
+  if (cli.config.scenario.has_value()) {
+    std::cerr << " (scenario '" << cli.config.scenario->name << "', "
+              << cli.config.scenario->phases.size() << " phases)";
+  }
+  std::cerr << "...\n";
   const sb7::BenchResult result = runner.Run();
   sb7::PrintReport(std::cout, runner, result);
 
@@ -33,6 +38,16 @@ int main(int argc, char** argv) {
     }
     sb7::WriteCsv(csv, runner, result);
     std::cerr << "CSV written to " << cli.config.csv_path << "\n";
+  }
+
+  if (!cli.config.json_path.empty()) {
+    std::ofstream json(cli.config.json_path);
+    if (!json) {
+      std::cerr << "error: cannot write " << cli.config.json_path << "\n";
+      return 2;
+    }
+    sb7::WriteJson(json, runner, result);
+    std::cerr << "JSON written to " << cli.config.json_path << "\n";
   }
 
   if (cli.config.verify_invariants) {

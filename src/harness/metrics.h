@@ -8,6 +8,7 @@
 
 #include "src/common/histogram.h"
 #include "src/ops/operation.h"
+#include "src/scenario/scenario.h"
 #include "src/stm/stm.h"
 
 namespace sb7 {
@@ -33,6 +34,59 @@ struct OpMetrics {
   }
 };
 
+// Open-loop pacing counters for one phase on one thread; merged after the
+// run. Queue delay is how long an operation's start lagged its scheduled
+// arrival; backlog_peak estimates the deepest arrival queue observed
+// (delay x per-worker rate).
+struct PaceMetrics {
+  int64_t arrivals = 0;
+  // Operations that started more than 1 ms after their scheduled arrival
+  // (sub-millisecond lateness is scheduling noise, not queueing).
+  int64_t delayed = 0;
+  int64_t backlog_peak = 0;
+  TtcHistogram queue_delay{200};
+
+  void Merge(const PaceMetrics& other) {
+    arrivals += other.arrivals;
+    delayed += other.delayed;
+    backlog_peak = backlog_peak > other.backlog_peak ? backlog_peak : other.backlog_peak;
+    queue_delay.Merge(other.queue_delay);
+  }
+};
+
+// Results of one scenario phase: the phase's effective configuration, the
+// per-operation counters restricted to the phase, open-loop pacing, and the
+// STM/hotspot counter deltas over the phase.
+struct PhaseResult {
+  std::string name;
+  double elapsed_seconds = 0.0;
+
+  // Effective phase configuration (after inheriting run-level settings).
+  double read_fraction = 0.0;
+  int threads = 0;
+  ArrivalModel arrival = ArrivalModel::kClosed;
+  double target_rate = 0.0;
+  double zipf_theta = 0.0;
+  double hot_fraction = 0.0;
+
+  std::vector<OpMetrics> per_op;  // parallel to OperationRegistry::all()
+  std::vector<double> ratios;
+  int64_t total_success = 0;
+  int64_t total_started = 0;
+
+  PaceMetrics pace;
+  StmStats::View stm = {};  // delta over the phase
+  int64_t hot_samples = 0;  // skewed id draws during the phase
+  int64_t hot_hits = 0;
+
+  double SuccessThroughput() const {
+    return elapsed_seconds > 0 ? static_cast<double>(total_success) / elapsed_seconds : 0.0;
+  }
+  double StartedThroughput() const {
+    return elapsed_seconds > 0 ? static_cast<double>(total_started) / elapsed_seconds : 0.0;
+  }
+};
+
 struct BenchResult {
   // Parallel to OperationRegistry::all().
   std::vector<OpMetrics> per_op;
@@ -43,6 +97,10 @@ struct BenchResult {
   int64_t total_started = 0;
 
   StmStats::View stm = {};  // zeros for lock strategies
+
+  // One entry per scenario phase, in execution order; empty for plain
+  // (non-scenario) runs.
+  std::vector<PhaseResult> phases;
 
   double SuccessThroughput() const {
     return elapsed_seconds > 0 ? static_cast<double>(total_success) / elapsed_seconds : 0.0;

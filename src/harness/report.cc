@@ -2,7 +2,9 @@
 
 #include <array>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
+#include <string>
 
 namespace sb7 {
 namespace {
@@ -13,6 +15,50 @@ constexpr std::array<OpCategory, 4> kCategories = {
     OpCategory::kShortOperation,
     OpCategory::kStructureModification,
 };
+
+// CSV metadata schema version. 1 = the implicit pre-scenario layout; 2 adds
+// p999_ms/started_per_s op columns and the per-phase section.
+constexpr int kCsvSchemaVersion = 2;
+
+void PrintPhaseSection(std::ostream& out, const PhaseResult& phase) {
+  out << "  phase " << std::left << std::setw(10) << phase.name << std::right
+      << " arrival=" << ArrivalModelName(phase.arrival) << " threads=" << phase.threads
+      << " read-fraction=" << std::fixed << std::setprecision(2) << phase.read_fraction;
+  if (phase.zipf_theta > 0.0) {
+    const double hit_rate = phase.hot_samples > 0
+                                ? static_cast<double>(phase.hot_hits) /
+                                      static_cast<double>(phase.hot_samples)
+                                : 0.0;
+    out << " zipf=" << phase.zipf_theta << " (hot " << std::setprecision(0)
+        << phase.hot_fraction * 100 << "% of ids drew " << std::setprecision(1)
+        << hit_rate * 100 << "% of draws)";
+  }
+  out << "\n";
+  out << "    elapsed " << std::setprecision(3) << phase.elapsed_seconds << " s, completed "
+      << phase.total_success << " (" << std::setprecision(2) << phase.SuccessThroughput()
+      << " op/s), started " << phase.total_started << " (" << phase.StartedThroughput()
+      << " op/s)\n";
+  if (phase.arrival != ArrivalModel::kClosed) {
+    const PaceMetrics& pace = phase.pace;
+    const double delayed_pct =
+        pace.arrivals > 0
+            ? 100.0 * static_cast<double>(pace.delayed) / static_cast<double>(pace.arrivals)
+            : 0.0;
+    out << "    open-loop: target " << std::setprecision(0) << phase.target_rate
+        << " op/s, arrivals " << pace.arrivals << ", delayed " << pace.delayed << " ("
+        << std::setprecision(1) << delayed_pct << "%), queue delay p50/p99/p99.9/max "
+        << std::setprecision(2) << pace.queue_delay.QuantileMillis(0.5) << "/"
+        << pace.queue_delay.QuantileMillis(0.99) << "/"
+        << pace.queue_delay.QuantileMillis(0.999) << "/"
+        << static_cast<double>(pace.queue_delay.max_nanos()) / 1e6
+        << " ms, est. backlog peak " << pace.backlog_peak << "\n";
+  }
+  if (phase.stm.starts > 0) {
+    out << "    stm: commits " << phase.stm.commits << ", aborts " << phase.stm.aborts
+        << ", read-only commits " << phase.stm.ro_commits << ", read-only aborts "
+        << phase.stm.ro_aborts << "\n";
+  }
+}
 
 }  // namespace
 
@@ -30,9 +76,13 @@ void PrintReport(std::ostream& out, const BenchmarkRunner& runner, const BenchRe
   out << "  index kind:          "
       << IndexKindName(config.index_kind.value_or(DefaultIndexKindFor(config.strategy)))
       << "\n";
-  out << "  threads:             " << config.threads << "\n";
+  out << "  threads:             " << runner.spawned_threads() << "\n";
   out << "  length [s]:          " << config.length_seconds << "\n";
   out << "  workload:            " << WorkloadTypeName(config.workload) << "\n";
+  if (config.scenario.has_value()) {
+    out << "  scenario:            " << config.scenario->name << " ("
+        << config.scenario->phases.size() << " phases)\n";
+  }
   out << "  long traversals:     " << (config.long_traversals ? "enabled" : "disabled") << "\n";
   out << "  structure mods:      " << (config.structure_mods ? "enabled" : "disabled") << "\n";
   if (!config.disabled_ops.empty()) {
@@ -102,6 +152,13 @@ void PrintReport(std::ostream& out, const BenchmarkRunner& runner, const BenchRe
   out << "total sample errors: E = " << std::setprecision(4) << total_e << ", F = " << total_f
       << "\n";
 
+  if (!result.phases.empty()) {
+    out << "\n== Phase results ==\n";
+    for (const PhaseResult& phase : result.phases) {
+      PrintPhaseSection(out, phase);
+    }
+  }
+
   out << "\n== Summary results ==\n";
   for (OpCategory category : kCategories) {
     int64_t success = 0;
@@ -144,10 +201,15 @@ void WriteCsv(std::ostream& out, const BenchmarkRunner& runner, const BenchResul
   const BenchConfig& config = runner.config();
   const auto& ops = runner.registry().all();
 
+  out << "# schema=" << kCsvSchemaVersion << "\n";
   out << "# strategy=" << config.strategy << "\n";
   out << "# scale=" << config.scale << "\n";
   out << "# workload=" << WorkloadTypeName(config.workload) << "\n";
-  out << "# threads=" << config.threads << "\n";
+  if (config.scenario.has_value()) {
+    out << "# scenario=" << config.scenario->name << "\n";
+    out << "# phases=" << config.scenario->phases.size() << "\n";
+  }
+  out << "# threads=" << runner.spawned_threads() << "\n";
   out << "# seed=" << config.seed << "\n";
   out << "# elapsed_seconds=" << result.elapsed_seconds << "\n";
   out << "# throughput_success=" << result.SuccessThroughput() << "\n";
@@ -159,21 +221,196 @@ void WriteCsv(std::ostream& out, const BenchmarkRunner& runner, const BenchResul
     out << "# stm_bytes_cloned=" << result.stm.bytes_cloned << "\n";
     out << "# stm_ro_aborts=" << result.stm.ro_aborts << "\n";
   }
-  out << "op,category,read_only,ratio,completed,failed,max_ms,mean_ms,p50_ms,p90_ms,p99_ms\n";
+  // Schema 2 keeps the schema-1 column order and appends p999_ms and the
+  // per-operation started throughput.
+  out << "op,category,read_only,ratio,completed,failed,max_ms,mean_ms,p50_ms,p90_ms,p99_ms,"
+         "p999_ms,started_per_s\n";
   for (size_t i = 0; i < ops.size(); ++i) {
     if (result.ratios[i] == 0.0 && result.per_op[i].started() == 0) {
       continue;
     }
     const OpMetrics& metrics = result.per_op[i];
     const TtcHistogram& hist = metrics.histogram;
+    const double started_per_s =
+        result.elapsed_seconds > 0
+            ? static_cast<double>(metrics.started()) / result.elapsed_seconds
+            : 0.0;
     out << ops[i]->name() << ',' << OpCategoryName(ops[i]->category()) << ','
         << (ops[i]->read_only() ? 1 : 0) << ',' << result.ratios[i] << ',' << metrics.success
         << ',' << metrics.failed << ',' << static_cast<double>(hist.max_nanos()) / 1e6 << ','
         << hist.MeanMillis() << ',' << hist.QuantileMillis(0.5) << ','
-        << hist.QuantileMillis(0.9) << ',' << hist.QuantileMillis(0.99) << "\n";
+        << hist.QuantileMillis(0.9) << ',' << hist.QuantileMillis(0.99) << ','
+        << hist.QuantileMillis(0.999) << ',' << started_per_s << "\n";
   }
   out << "TOTAL,,," << 1.0 << ',' << result.total_success << ','
-      << result.total_started - result.total_success << ",,,,,\n";
+      << result.total_started - result.total_success << ",,,,,,," << result.StartedThroughput()
+      << "\n";
+
+  // Per-phase section (scenario runs): one row per phase, including the
+  // open-loop queue-delay percentiles and the STM/hotspot deltas.
+  if (!result.phases.empty()) {
+    out << "phase,arrival,threads,read_fraction,zipf_theta,elapsed_s,completed,failed,"
+           "ops_per_s,started_per_s,target_rate,arrivals,delayed,backlog_peak,"
+           "qd_p50_ms,qd_p90_ms,qd_p99_ms,qd_p999_ms,qd_max_ms,"
+           "stm_commits,stm_aborts,stm_ro_aborts,hot_hits,hot_samples\n";
+    for (const PhaseResult& phase : result.phases) {
+      const TtcHistogram& qd = phase.pace.queue_delay;
+      out << phase.name << ',' << ArrivalModelName(phase.arrival) << ',' << phase.threads
+          << ',' << phase.read_fraction << ',' << phase.zipf_theta << ','
+          << phase.elapsed_seconds << ',' << phase.total_success << ','
+          << phase.total_started - phase.total_success << ',' << phase.SuccessThroughput()
+          << ',' << phase.StartedThroughput() << ',' << phase.target_rate << ','
+          << phase.pace.arrivals << ',' << phase.pace.delayed << ','
+          << phase.pace.backlog_peak << ',' << qd.QuantileMillis(0.5) << ','
+          << qd.QuantileMillis(0.9) << ',' << qd.QuantileMillis(0.99) << ','
+          << qd.QuantileMillis(0.999) << ',' << static_cast<double>(qd.max_nanos()) / 1e6
+          << ',' << phase.stm.commits << ',' << phase.stm.aborts << ',' << phase.stm.ro_aborts
+          << ',' << phase.hot_hits << ',' << phase.hot_samples << "\n";
+    }
+  }
+}
+
+namespace {
+
+std::string JsonString(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void WriteStmJson(std::ostream& out, const StmStats::View& stm, const char* indent) {
+  out << "{\n";
+  out << indent << "  \"starts\": " << stm.starts << ", \"commits\": " << stm.commits
+      << ", \"aborts\": " << stm.aborts << ",\n";
+  out << indent << "  \"reads\": " << stm.reads << ", \"writes\": " << stm.writes
+      << ", \"validation_steps\": " << stm.validation_steps
+      << ", \"bytes_cloned\": " << stm.bytes_cloned << ", \"kills\": " << stm.kills << ",\n";
+  out << indent << "  \"ro_starts\": " << stm.ro_starts
+      << ", \"ro_commits\": " << stm.ro_commits << ", \"ro_aborts\": " << stm.ro_aborts << "\n";
+  out << indent << "}";
+}
+
+}  // namespace
+
+void WriteJson(std::ostream& out, const BenchmarkRunner& runner, const BenchResult& result) {
+  const BenchConfig& config = runner.config();
+  const auto& ops = runner.registry().all();
+
+  out << "{\n";
+  out << "  \"schema\": " << kCsvSchemaVersion << ",\n";
+  out << "  \"config\": {\n";
+  out << "    \"strategy\": " << JsonString(config.strategy) << ",\n";
+  out << "    \"contention_manager\": " << JsonString(config.contention_manager) << ",\n";
+  out << "    \"scale\": " << JsonString(config.scale) << ",\n";
+  out << "    \"workload\": " << JsonString(WorkloadTypeName(config.workload)) << ",\n";
+  if (config.scenario.has_value()) {
+    out << "    \"scenario\": " << JsonString(config.scenario->name) << ",\n";
+  }
+  out << "    \"threads\": " << runner.spawned_threads() << ",\n";
+  out << "    \"length_seconds\": " << config.length_seconds << ",\n";
+  out << "    \"seed\": " << config.seed << "\n";
+  out << "  },\n";
+  out << "  \"elapsed_seconds\": " << result.elapsed_seconds << ",\n";
+  out << "  \"total_success\": " << result.total_success << ",\n";
+  out << "  \"total_started\": " << result.total_started << ",\n";
+  out << "  \"throughput_success\": " << result.SuccessThroughput() << ",\n";
+  out << "  \"throughput_started\": " << result.StartedThroughput() << ",\n";
+  if (runner.strategy().stm() != nullptr) {
+    out << "  \"stm\": ";
+    WriteStmJson(out, result.stm, "  ");
+    out << ",\n";
+  }
+
+  out << "  \"operations\": [";
+  bool first_op = true;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (result.ratios[i] == 0.0 && result.per_op[i].started() == 0) {
+      continue;
+    }
+    const OpMetrics& metrics = result.per_op[i];
+    const TtcHistogram& hist = metrics.histogram;
+    const double started_per_s =
+        result.elapsed_seconds > 0
+            ? static_cast<double>(metrics.started()) / result.elapsed_seconds
+            : 0.0;
+    out << (first_op ? "\n" : ",\n");
+    first_op = false;
+    out << "    {\"op\": " << JsonString(ops[i]->name())
+        << ", \"category\": " << JsonString(OpCategoryName(ops[i]->category()))
+        << ", \"read_only\": " << (ops[i]->read_only() ? "true" : "false")
+        << ", \"ratio\": " << result.ratios[i] << ", \"completed\": " << metrics.success
+        << ", \"failed\": " << metrics.failed
+        << ", \"max_ms\": " << static_cast<double>(hist.max_nanos()) / 1e6
+        << ", \"mean_ms\": " << hist.MeanMillis()
+        << ", \"p50_ms\": " << hist.QuantileMillis(0.5)
+        << ", \"p90_ms\": " << hist.QuantileMillis(0.9)
+        << ", \"p99_ms\": " << hist.QuantileMillis(0.99)
+        << ", \"p999_ms\": " << hist.QuantileMillis(0.999)
+        << ", \"started_per_s\": " << started_per_s << "}";
+  }
+  out << "\n  ]";
+
+  if (!result.phases.empty()) {
+    out << ",\n  \"phases\": [";
+    for (size_t p = 0; p < result.phases.size(); ++p) {
+      const PhaseResult& phase = result.phases[p];
+      const TtcHistogram& qd = phase.pace.queue_delay;
+      out << (p == 0 ? "\n" : ",\n");
+      out << "    {\n";
+      out << "      \"name\": " << JsonString(phase.name) << ",\n";
+      out << "      \"arrival\": " << JsonString(ArrivalModelName(phase.arrival)) << ",\n";
+      out << "      \"threads\": " << phase.threads << ",\n";
+      out << "      \"read_fraction\": " << phase.read_fraction << ",\n";
+      out << "      \"zipf_theta\": " << phase.zipf_theta << ",\n";
+      out << "      \"hot_fraction\": " << phase.hot_fraction << ",\n";
+      out << "      \"elapsed_seconds\": " << phase.elapsed_seconds << ",\n";
+      out << "      \"completed\": " << phase.total_success << ",\n";
+      out << "      \"started\": " << phase.total_started << ",\n";
+      out << "      \"ops_per_s\": " << phase.SuccessThroughput() << ",\n";
+      out << "      \"started_per_s\": " << phase.StartedThroughput() << ",\n";
+      out << "      \"open_loop\": {\n";
+      out << "        \"target_rate\": " << phase.target_rate << ",\n";
+      out << "        \"arrivals\": " << phase.pace.arrivals << ",\n";
+      out << "        \"delayed\": " << phase.pace.delayed << ",\n";
+      out << "        \"backlog_peak\": " << phase.pace.backlog_peak << ",\n";
+      out << "        \"queue_delay_ms\": {\"p50\": " << qd.QuantileMillis(0.5)
+          << ", \"p90\": " << qd.QuantileMillis(0.9) << ", \"p99\": " << qd.QuantileMillis(0.99)
+          << ", \"p999\": " << qd.QuantileMillis(0.999)
+          << ", \"max\": " << static_cast<double>(qd.max_nanos()) / 1e6 << "}\n";
+      out << "      },\n";
+      out << "      \"hotspot\": {\"hits\": " << phase.hot_hits
+          << ", \"samples\": " << phase.hot_samples << "},\n";
+      out << "      \"stm\": ";
+      WriteStmJson(out, phase.stm, "      ");
+      out << "\n    }";
+    }
+    out << "\n  ]";
+  }
+  out << "\n}\n";
 }
 
 }  // namespace sb7

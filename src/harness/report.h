@@ -12,10 +12,18 @@ namespace sb7 {
 
 void PrintReport(std::ostream& out, const BenchmarkRunner& runner, const BenchResult& result);
 
-// Machine-readable CSV: '#'-prefixed metadata lines, then one row per
-// enabled operation (name, category, read_only, configured ratio, completed,
-// failed, max/mean/p50/p90/p99 latency in ms) and a TOTAL row.
+// Machine-readable CSV (schema 2): '#'-prefixed metadata lines, then one row
+// per enabled operation (name, category, read_only, configured ratio,
+// completed, failed, max/mean/p50/p90/p99/p99.9 latency in ms and started
+// throughput) and a TOTAL row. Scenario runs append a per-phase section
+// (one row per phase with throughput, queue-delay percentiles, backlog and
+// STM/hotspot deltas).
 void WriteCsv(std::ostream& out, const BenchmarkRunner& runner, const BenchResult& result);
+
+// Machine-readable JSON mirroring the CSV content: config and totals as one
+// object, per-operation rows as an array, and — for scenario runs — one
+// block per phase (including open-loop queue-delay percentiles).
+void WriteJson(std::ostream& out, const BenchmarkRunner& runner, const BenchResult& result);
 
 }  // namespace sb7
 

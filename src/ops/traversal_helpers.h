@@ -5,6 +5,7 @@
 
 #include <unordered_set>
 
+#include "src/common/hotspot.h"
 #include "src/core/data_holder.h"
 #include "src/core/objects.h"
 
@@ -56,10 +57,12 @@ inline void UpdateAtomicPartDateIndexed(DataHolder& dh, AtomicPart* part) {
   dh.atomic_part_date_index().Insert(MakeDateKey(part->build_date(), part->id()), part);
 }
 
-// Uniformly random id in [1, pool.capacity()] — the benchmark's designed
-// failure source: the id may currently be unassigned.
+// Random id in [1, pool.capacity()] — the benchmark's designed failure
+// source: the id may currently be unassigned. Uniform by default; under an
+// active hotspot policy (scenario engine) the draw is Zipfian so traversal
+// entry points and index keys concentrate on the low-id hot set.
 inline int64_t RandomId(const IdPool& pool, Rng& rng) {
-  return 1 + static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(pool.capacity())));
+  return SampleHotspotId(pool.capacity(), rng);
 }
 
 }  // namespace sb7

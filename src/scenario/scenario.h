@@ -1,0 +1,116 @@
+// Declarative workload scenarios (§6 "more workloads").
+//
+// A scenario is an ordered list of timed phases; the harness drives all of
+// them in one run, swapping the operation mix, pacing and hotspot skew at
+// phase boundaries without restarting worker threads. Each phase can
+// override:
+//   - the workload mix: a preset (r/rw/w) or an arbitrary read fraction,
+//     category switches (long traversals, structure modifications) and a
+//     per-phase operation blacklist;
+//   - the active thread count (a ramp: the first k of the spawned workers
+//     execute, the rest idle);
+//   - the arrival model: closed-loop (a worker issues its next operation as
+//     soon as the previous one finishes, as the paper does), or open-loop
+//     with a target aggregate rate — Poisson arrivals or bursty batches.
+//     Open-loop workers queue behind their arrival schedule; the harness
+//     reports queue-delay percentiles and an estimated backlog peak;
+//   - Zipfian hotspot selection for random ids (see common/hotspot.h).
+//
+// Phase durations are relative weights: the run's total `-l` length is split
+// across phases proportionally. A phase may also cap its started operations
+// (`max_ops`), ending early when the cap is reached — that is what makes
+// fixed-seed scenario runs deterministic enough to pin in tests.
+//
+// Scenarios come from ~5 built-in presets or from a key=value spec file; see
+// ParseScenarioSpec for the format.
+
+#ifndef STMBENCH7_SRC_SCENARIO_SCENARIO_H_
+#define STMBENCH7_SRC_SCENARIO_SCENARIO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/harness/workload.h"
+
+namespace sb7 {
+
+enum class ArrivalModel { kClosed, kPoisson, kBursty };
+
+std::string_view ArrivalModelName(ArrivalModel model);
+
+struct PhaseSpec {
+  std::string name = "phase";
+  // Relative duration weight (> 0); resolved against the run length.
+  double duration_weight = 1.0;
+
+  // Mix overrides; unset fields inherit the run-level configuration.
+  std::optional<double> read_fraction;  // in [0, 1]
+  std::optional<bool> long_traversals;
+  std::optional<bool> structure_mods;
+  std::set<std::string> disabled_ops;  // merged with the run-level blacklist
+
+  // Thread ramp: number of active workers (unset = run-level thread count).
+  std::optional<int> threads;
+
+  // Arrival model. rate_ops_per_sec is the aggregate target across all
+  // active workers; required > 0 for the open-loop models. burst_size is the
+  // batch size of the bursty model.
+  ArrivalModel arrival = ArrivalModel::kClosed;
+  double rate_ops_per_sec = 0.0;
+  int burst_size = 32;
+
+  // Hotspot skew for random ids; 0 = uniform.
+  double zipf_theta = 0.0;
+  double hot_fraction = 0.1;
+
+  // Optional cap on started operations in this phase; -1 = unlimited.
+  int64_t max_ops = -1;
+};
+
+struct Scenario {
+  std::string name;
+  std::vector<PhaseSpec> phases;
+
+  double TotalWeight() const;
+};
+
+// Names of the built-in scenarios, in presentation order:
+// steady-read, write-storm, diurnal, hotspot, ramp.
+const std::vector<std::string>& BuiltinScenarioNames();
+// Comma-separated BuiltinScenarioNames(), for error messages.
+std::string BuiltinScenarioList();
+std::optional<Scenario> FindBuiltinScenario(std::string_view name);
+
+struct ScenarioParseResult {
+  std::optional<Scenario> scenario;
+  std::string error;  // set iff scenario is empty
+};
+
+// Parses the spec format: one `key=value` per line, `#` comments, blank
+// lines ignored. `phase=<name>` starts a new phase; keys before the first
+// phase are scenario-level (currently `name=`). Per-phase keys:
+//   duration=<weight>      relative duration weight (default 1)
+//   workload=r|rw|w        preset read fraction
+//   read_fraction=<f>      arbitrary read fraction in [0,1]
+//   traversals=on|off      long traversals
+//   sms=on|off             structure modifications
+//   disable=OP4,OP5        comma-separated operation blacklist
+//   threads=<n>            active worker count
+//   arrival=closed|poisson|bursty
+//   rate=<ops/sec>         open-loop target rate
+//   burst=<n>              bursty batch size
+//   zipf=<theta>           hotspot skew in [0,1)
+//   hot_fraction=<f>       hot-set size for reporting, in (0,1]
+//   max_ops=<n>            per-phase started-operation cap
+ScenarioParseResult ParseScenarioSpec(std::istream& in, std::string_view default_name);
+
+// Resolves `--scenario <name|file>`: built-in names first, then a spec file
+// path. Unknown names produce an error listing the valid built-ins.
+ScenarioParseResult LoadScenario(const std::string& name_or_path);
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_SCENARIO_SCENARIO_H_

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/common/histogram.h"
+#include "src/common/hotspot.h"
 #include "src/common/rng.h"
 #include "src/common/text.h"
 #include "src/common/timing.h"
@@ -99,6 +100,90 @@ TEST(RngTest, SplitIsDeterministic) {
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(child_a.Next(), child_b.Next());
   }
+}
+
+TEST(ZipfianTest, DeterministicUnderFixedSeed) {
+  const ZipfianSampler sampler(1000, 0.9);
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(sampler.Sample(a), sampler.Sample(b));
+  }
+}
+
+TEST(ZipfianTest, RanksStayInRange) {
+  for (const uint64_t n : {1ull, 2ull, 3ull, 100ull, 100'000ull}) {
+    const ZipfianSampler sampler(n, 0.99);
+    Rng rng(77);
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(sampler.Sample(rng), n);
+    }
+  }
+}
+
+TEST(ZipfianTest, SkewConcentratesOnLowRanks) {
+  // With theta = 0.99 over 10k ranks, the hot 1% must draw far more than 1%
+  // of samples; with theta = 0 the draw is uniform.
+  constexpr uint64_t kN = 10'000;
+  constexpr int kDraws = 100'000;
+  const auto hot_share = [](double theta) {
+    const ZipfianSampler sampler(kN, theta);
+    Rng rng(2024);
+    int hot = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      hot += sampler.Sample(rng) < kN / 100 ? 1 : 0;
+    }
+    return static_cast<double>(hot) / kDraws;
+  };
+  EXPECT_GT(hot_share(0.99), 0.4);
+  EXPECT_GT(hot_share(0.8), hot_share(0.5));
+  EXPECT_NEAR(hot_share(0.0), 0.01, 0.005);
+}
+
+TEST(ZipfianTest, RankZeroIsTheMode) {
+  const ZipfianSampler sampler(100, 0.9);
+  Rng rng(5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50'000; ++i) {
+    counts[sampler.Sample(rng)]++;
+  }
+  for (int r = 1; r < 100; ++r) {
+    EXPECT_GE(counts[0], counts[r]) << r;
+  }
+}
+
+TEST(HotspotTest, DisabledPolicyMatchesPlainUniformDraw) {
+  ResetHotspotPolicy();
+  Rng a(606);
+  Rng b(606);
+  for (int i = 0; i < 1000; ++i) {
+    // Bit-identical stream consumption is what keeps pre-scenario fixed-seed
+    // runs reproducible.
+    EXPECT_EQ(SampleHotspotId(500, a), 1 + static_cast<int64_t>(b.NextBounded(500)));
+  }
+}
+
+TEST(HotspotTest, ActivePolicySkewsAndCounts) {
+  HotspotPolicy policy;
+  policy.theta = 0.95;
+  policy.hot_fraction = 0.1;
+  SetHotspotPolicy(policy);
+  const HotspotCounters before = ReadHotspotCounters();
+  Rng rng(17);
+  constexpr int kDraws = 20'000;
+  constexpr int64_t kCapacity = 1000;
+  int64_t in_hot_set = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const int64_t id = SampleHotspotId(kCapacity, rng);
+    ASSERT_GE(id, 1);
+    ASSERT_LE(id, kCapacity);
+    in_hot_set += id <= kCapacity / 10 ? 1 : 0;
+  }
+  const HotspotCounters after = ReadHotspotCounters();
+  ResetHotspotPolicy();
+  EXPECT_EQ(after.samples - before.samples, kDraws);
+  EXPECT_EQ(after.hot_hits - before.hot_hits, in_hot_set);
+  EXPECT_GT(static_cast<double>(in_hot_set) / kDraws, 0.4);
 }
 
 TEST(HistogramTest, RecordsCountsAndMax) {

@@ -67,12 +67,49 @@ TEST(CliTest, ShortOnlyAppliesFigure6Subset) {
 
 TEST(CliTest, RejectsBadArguments) {
   EXPECT_TRUE(Parse({"-t", "0"}).error.has_value());
+  EXPECT_TRUE(Parse({"-t", "-3"}).error.has_value());
   EXPECT_TRUE(Parse({"-t", "abc"}).error.has_value());
   EXPECT_TRUE(Parse({"-w", "x"}).error.has_value());
   EXPECT_TRUE(Parse({"-g", "noSuchStm"}).error.has_value());
   EXPECT_TRUE(Parse({"--bogus"}).error.has_value());
   EXPECT_TRUE(Parse({"-l"}).error.has_value());
+  EXPECT_TRUE(Parse({"-l", "0"}).error.has_value());
   EXPECT_TRUE(Parse({"-l", "-5"}).error.has_value());
+}
+
+TEST(CliTest, ReadFractionAliasSharesTheRangeCheck) {
+  const CliResult ok = Parse({"--read-fraction", "0.25"});
+  ASSERT_FALSE(ok.error.has_value());
+  ASSERT_TRUE(ok.config.read_fraction.has_value());
+  EXPECT_DOUBLE_EQ(*ok.config.read_fraction, 0.25);
+  for (const char* bad : {"1.01", "-0.01", "nan?"}) {
+    const CliResult result = Parse({"--read-fraction", bad});
+    ASSERT_TRUE(result.error.has_value()) << bad;
+    EXPECT_NE(result.error->find("[0,1]"), std::string::npos) << *result.error;
+  }
+}
+
+TEST(CliTest, ScenarioFlagResolvesBuiltinsAndRejectsUnknownNames) {
+  const CliResult ok = Parse({"--scenario", "diurnal"});
+  ASSERT_FALSE(ok.error.has_value());
+  ASSERT_TRUE(ok.config.scenario.has_value());
+  EXPECT_EQ(ok.config.scenario->name, "diurnal");
+  EXPECT_EQ(ok.config.scenario->phases.size(), 4u);
+
+  const CliResult unknown = Parse({"--scenario", "lunchtime"});
+  ASSERT_TRUE(unknown.error.has_value());
+  // The error lists every valid built-in.
+  for (const char* name : {"steady-read", "write-storm", "diurnal", "hotspot", "ramp"}) {
+    EXPECT_NE(unknown.error->find(name), std::string::npos) << *unknown.error;
+  }
+  EXPECT_TRUE(Parse({"--scenario"}).error.has_value());
+}
+
+TEST(CliTest, ParsesJsonPath) {
+  const CliResult result = Parse({"--json", "/tmp/x.json"});
+  ASSERT_FALSE(result.error.has_value());
+  EXPECT_EQ(result.config.json_path, "/tmp/x.json");
+  EXPECT_TRUE(Parse({"--json"}).error.has_value());
 }
 
 TEST(CliTest, ParsesReadRatioCsvAndVerify) {
@@ -194,12 +231,58 @@ TEST(ReportTest, CsvHasMetadataRowsAndTotal) {
   std::ostringstream out;
   WriteCsv(out, runner, result);
   const std::string text = out.str();
+  EXPECT_NE(text.find("# schema=2"), std::string::npos);
   EXPECT_NE(text.find("# strategy=tinystm"), std::string::npos);
   EXPECT_NE(text.find("# throughput_success="), std::string::npos);
   EXPECT_NE(text.find("# stm_commits="), std::string::npos);
-  EXPECT_NE(text.find("op,category,read_only,ratio,completed,failed"), std::string::npos);
+  // Schema 2 keeps the schema-1 column prefix and appends p99.9 and the
+  // started-throughput column.
+  EXPECT_NE(text.find("op,category,read_only,ratio,completed,failed,max_ms,mean_ms,p50_ms,"
+                      "p90_ms,p99_ms,p999_ms,started_per_s"),
+            std::string::npos);
   EXPECT_NE(text.find("\nT1,"), std::string::npos);
   EXPECT_NE(text.find("\nTOTAL,"), std::string::npos);
+  // Plain runs carry no per-phase section.
+  EXPECT_EQ(text.find("\nphase,"), std::string::npos);
+}
+
+TEST(ReportTest, ScenarioRunReportsEveryPhaseInAllFormats) {
+  BenchConfig config;
+  config.strategy = "tl2";
+  config.scale = "tiny";
+  config.threads = 2;
+  config.length_seconds = 0.6;
+  config.scenario = FindBuiltinScenario("hotspot");
+  ASSERT_TRUE(config.scenario.has_value());
+  BenchmarkRunner runner(config);
+  const BenchResult result = runner.Run();
+  ASSERT_EQ(result.phases.size(), 2u);
+
+  std::ostringstream report;
+  PrintReport(report, runner, result);
+  const std::string text = report.str();
+  EXPECT_NE(text.find("scenario:            hotspot"), std::string::npos);
+  EXPECT_NE(text.find("== Phase results =="), std::string::npos);
+  EXPECT_NE(text.find("phase uniform"), std::string::npos);
+  EXPECT_NE(text.find("phase hot"), std::string::npos);
+  EXPECT_NE(text.find("zipf=0.99"), std::string::npos);
+  EXPECT_NE(text.find("== Summary results =="), std::string::npos);  // combined total
+
+  std::ostringstream csv;
+  WriteCsv(csv, runner, result);
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("# scenario=hotspot"), std::string::npos);
+  EXPECT_NE(csv_text.find("phase,arrival,threads,read_fraction,zipf_theta"), std::string::npos);
+  EXPECT_NE(csv_text.find("\nuniform,closed,"), std::string::npos);
+  EXPECT_NE(csv_text.find("\nhot,closed,"), std::string::npos);
+
+  std::ostringstream json;
+  WriteJson(json, runner, result);
+  const std::string json_text = json.str();
+  EXPECT_NE(json_text.find("\"scenario\": \"hotspot\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"phases\": ["), std::string::npos);
+  EXPECT_NE(json_text.find("\"queue_delay_ms\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"p999_ms\""), std::string::npos);
 }
 
 TEST(WorkloadOverrideTest, CustomReadFractionShiftsTheMix) {

@@ -186,6 +186,55 @@ TEST_F(WorkloadTest, CategoryFullyDisabledByNameYieldsZeroWeight) {
   EXPECT_EQ(long_weight, 0.0);
 }
 
+TEST_F(WorkloadTest, ReadFractionZeroAndOneAreValidExtremes) {
+  const auto& ops = registry_.all();
+  // read_fraction 1.0: every update operation gets ratio zero, read-only
+  // operations carry the whole (renormalized) distribution.
+  const auto pure_reads = ComputeOperationRatios(registry_, 1.0, true, true, {});
+  EXPECT_NEAR(SumRatios(pure_reads), 1.0, 1e-12);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i]->read_only()) {
+      EXPECT_GT(pure_reads[i], 0.0) << ops[i]->name();
+    } else {
+      EXPECT_EQ(pure_reads[i], 0.0) << ops[i]->name();
+    }
+  }
+  // read_fraction 0.0: the mirror image.
+  const auto pure_writes = ComputeOperationRatios(registry_, 0.0, true, true, {});
+  EXPECT_NEAR(SumRatios(pure_writes), 1.0, 1e-12);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i]->read_only()) {
+      EXPECT_EQ(pure_writes[i], 0.0) << ops[i]->name();
+    } else {
+      EXPECT_GT(pure_writes[i], 0.0) << ops[i]->name();
+    }
+  }
+}
+
+TEST_F(WorkloadTest, AllButOneOpDisabledStillSumsToOne) {
+  // Disable every operation except T1: the survivor must absorb the entire
+  // distribution (ratio exactly 1) and the sampler must only ever pick it.
+  std::set<std::string> disabled;
+  const auto& ops = registry_.all();
+  for (const auto& op : ops) {
+    if (op->name() != "T1") {
+      disabled.insert(op->name());
+    }
+  }
+  const auto ratios =
+      ComputeOperationRatios(registry_, WorkloadType::kReadDominated, true, true, disabled);
+  EXPECT_NEAR(SumRatios(ratios), 1.0, 1e-12);
+  Rng rng(99);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i]->name() == "T1") {
+      EXPECT_DOUBLE_EQ(ratios[i], 1.0);
+      EXPECT_EQ(SampleOperation(ratios, rng), static_cast<int>(i));
+    } else {
+      EXPECT_EQ(ratios[i], 0.0) << ops[i]->name();
+    }
+  }
+}
+
 TEST(WorkloadNamesTest, RoundTrip) {
   EXPECT_EQ(WorkloadTypeForName("r"), WorkloadType::kReadDominated);
   EXPECT_EQ(WorkloadTypeForName("rw"), WorkloadType::kReadWrite);
