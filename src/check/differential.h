@@ -1,0 +1,71 @@
+// Differential cross-backend oracle.
+//
+// Replays one deterministically-seeded operation sequence — same structure
+// seed, same operation-selection stream, single thread, closed loop — under
+// every configured synchronization strategy, and compares:
+//   * the per-operation return values (Appendix-B result values, with
+//     operation failures mapped to a sentinel), and
+//   * the deep structural fingerprint (src/check/fingerprint.h) of the final
+//     world, which covers the object graph, documents, the manual and all
+//     six indexes, and
+//   * the full invariant report (src/core/invariants.h).
+//
+// Single-threaded execution makes every backend consume the RNG stream
+// identically (no aborts, no retries), so any divergence is a real semantic
+// difference between backends — the class of bug a racy STM hides behind
+// good throughput numbers. Each backend runs against its own default index
+// kind; the fingerprint is content-based, so stdmap/snapshot/skiplist worlds
+// compare equal when the backends agree.
+
+#ifndef STMBENCH7_SRC_CHECK_DIFFERENTIAL_H_
+#define STMBENCH7_SRC_CHECK_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sb7 {
+
+struct DifferentialOptions {
+  // Backends to compare; the first is the reference the others diff against.
+  std::vector<std::string> strategies = {"fine",    "tl2",  "norec",
+                                         "tinystm", "astm", "mvstm"};
+  std::string scale = "tiny";
+  uint64_t seed = 20070326;
+  int operations = 200;
+  bool long_traversals = true;
+  bool structure_mods = true;
+  std::set<std::string> disabled_ops;
+};
+
+// Return value recorded for an operation that threw OperationFailed.
+constexpr int64_t kOperationFailedSentinel = INT64_MIN;
+
+struct DifferentialRun {
+  std::string strategy;
+  std::vector<int64_t> results;  // one entry per executed operation
+  uint64_t fingerprint = 0;
+  bool invariants_ok = false;
+  std::vector<std::string> violations;
+};
+
+struct DifferentialReport {
+  std::vector<DifferentialRun> runs;
+  // Human-readable divergences; empty iff all backends agree and all runs
+  // preserve the structure invariants.
+  std::vector<std::string> mismatches;
+  // Names of the executed operations, parallel to each run's results.
+  std::vector<std::string> op_names;
+
+  bool ok() const { return mismatches.empty(); }
+};
+
+DifferentialReport RunDifferential(const DifferentialOptions& options);
+
+// Formats the report for terminal output (used by the --differential mode).
+std::string FormatDifferentialReport(const DifferentialReport& report);
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_CHECK_DIFFERENTIAL_H_

@@ -1,0 +1,106 @@
+#include "src/check/fingerprint.h"
+
+#include "src/stm/field.h"
+
+namespace sb7 {
+namespace {
+
+// Domain-separation constants so that, e.g., an atomic part and an assembly
+// with the same id cannot cancel each other in the commutative folds.
+constexpr uint64_t kTagAssembly = 0x41u;
+constexpr uint64_t kTagComposite = 0x43u;
+constexpr uint64_t kTagAtomic = 0x50u;
+constexpr uint64_t kTagConnection = 0x58u;
+constexpr uint64_t kTagLink = 0x4cu;
+constexpr uint64_t kTagIndex = 0x49u;
+
+uint64_t HashAtomicPart(const AtomicPart& atom) {
+  uint64_t h = MixHash(static_cast<uint64_t>(atom.id()) ^ (kTagAtomic << 56));
+  h ^= MixHash(static_cast<uint64_t>(atom.build_date()) + 0x1111);
+  h ^= MixHash(static_cast<uint64_t>(atom.x()) + 0x2222);
+  h ^= MixHash(static_cast<uint64_t>(atom.y()) * 7 + 0x3333);
+  return h;
+}
+
+uint64_t HashConnection(const Connection& conn) {
+  uint64_t h = MixHash(static_cast<uint64_t>(conn.from()->id()) ^ (kTagConnection << 56));
+  h ^= MixHash(static_cast<uint64_t>(conn.to()->id()) * 5 + 0x7777);
+  h ^= MixHash(static_cast<uint64_t>(conn.length()) + 0x8888);
+  return h;
+}
+
+}  // namespace
+
+uint64_t DeepFingerprint(DataHolder& dh) {
+  SB7_CHECK(CurrentTx() == nullptr);
+  uint64_t sum = 0;
+
+  // Composite parts: graphs (atomic parts + connections), documents, links.
+  dh.composite_part_id_index().ForEach([&sum](const int64_t& id, CompositePart* const& part) {
+    uint64_t h = MixHash(static_cast<uint64_t>(id) ^ (kTagComposite << 56));
+    h ^= MixHash(static_cast<uint64_t>(part->build_date()) + 0x4242);
+    h ^= HashString(part->documentation()->title());
+    h ^= HashString(part->documentation()->text());
+    h ^= MixHash(static_cast<uint64_t>(part->root_part()->id()) + 0x5151);
+    uint64_t atoms = 0;
+    uint64_t connections = 0;
+    for (AtomicPart* atom : part->parts()) {
+      atoms += HashAtomicPart(*atom);
+      for (Connection* conn : atom->outgoing()) {
+        connections += HashConnection(*conn);
+      }
+    }
+    h ^= MixHash(atoms);
+    h ^= MixHash(connections + 0x6666);
+    uint64_t links = 0;
+    part->used_in().ForEach([&links](BaseAssembly* base) {
+      links += MixHash(static_cast<uint64_t>(base->id()) ^ (kTagLink << 56));
+    });
+    h ^= MixHash(links + 0x4444);
+    sum += h;
+    return true;
+  });
+
+  // Assembly tree, including the base-assembly -> composite-part bags (the
+  // forward side of the many-to-many link; the backward side is folded above).
+  auto walk = [&sum](auto&& self, Assembly* assembly) -> void {
+    uint64_t h = MixHash(static_cast<uint64_t>(assembly->id()) ^ (kTagAssembly << 56));
+    h ^= MixHash(static_cast<uint64_t>(assembly->build_date()) + 0x5555);
+    h ^= MixHash(static_cast<uint64_t>(assembly->level()) + 0x6666);
+    if (assembly->is_base()) {
+      uint64_t components = 0;
+      static_cast<BaseAssembly*>(assembly)->components().ForEach(
+          [&components](CompositePart* part) {
+            components += MixHash(static_cast<uint64_t>(part->id()) + 0x9999);
+          });
+      h ^= MixHash(components + 0xaaaa);
+    }
+    sum += h;
+    if (!assembly->is_base()) {
+      static_cast<ComplexAssembly*>(assembly)->sub_assemblies().ForEach(
+          [&self](Assembly* child) { self(self, child); });
+    }
+  };
+  walk(walk, dh.module()->design_root());
+
+  sum += HashString(dh.manual()->text());
+  sum += MixHash(static_cast<uint64_t>(dh.module()->id()) + 0xbbbb);
+
+  // All six Table-1 indexes, by content. A racy update that corrupts an index
+  // without breaking the object graph (stale entry, lost insert) lands here.
+  const auto id_of = [](auto* object) { return static_cast<uint64_t>(object->id()); };
+  const auto key_id = [](const int64_t& key) { return static_cast<uint64_t>(key); };
+  const auto key_string = [](const std::string& key) { return HashString(key); };
+  uint64_t indexes = kTagIndex;
+  indexes ^= FingerprintIndex(dh.atomic_part_id_index(), key_id, id_of);
+  indexes ^= MixHash(FingerprintIndex(dh.atomic_part_date_index(), key_id, id_of) + 1);
+  indexes ^= MixHash(FingerprintIndex(dh.composite_part_id_index(), key_id, id_of) + 2);
+  indexes ^= MixHash(FingerprintIndex(dh.document_title_index(), key_string, id_of) + 3);
+  indexes ^= MixHash(FingerprintIndex(dh.base_assembly_id_index(), key_id, id_of) + 4);
+  indexes ^= MixHash(FingerprintIndex(dh.complex_assembly_id_index(), key_id, id_of) + 5);
+  sum += MixHash(indexes);
+
+  return sum;
+}
+
+}  // namespace sb7

@@ -1,0 +1,55 @@
+// Deep structural fingerprinting for the correctness oracle.
+//
+// DeepFingerprint folds the *entire observable state* of the benchmark world
+// into one 64-bit value: every assembly, composite part, atomic part (ids,
+// dates, x/y), every connection (endpoints and length), document and manual
+// bodies, the many-to-many assembly<->part links, and the full contents of
+// all six Table-1 indexes. The fold is order-independent (commutative sums
+// of per-entity hashes), so two structurally identical worlds fingerprint
+// identically regardless of index implementation (stdmap / snapshot /
+// skiplist) or the iteration order the containers happen to produce.
+//
+// This is what the differential oracle (src/check/differential.h) compares
+// across backends, and what the fuzz driver (src/check/fuzz.h) uses as its
+// cross-backend failure predicate. It subsumes core/invariants.h's
+// StructureChecksum by additionally covering connections and index contents,
+// where a racy index update would otherwise go unnoticed.
+
+#ifndef STMBENCH7_SRC_CHECK_FINGERPRINT_H_
+#define STMBENCH7_SRC_CHECK_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "src/common/hashing.h"
+#include "src/containers/index.h"
+#include "src/core/data_holder.h"
+
+namespace sb7 {
+
+// Order-independent fingerprint of one index's contents. Safe both from a
+// quiescent state and from inside a transaction (iteration goes through the
+// index's transactional reads), which the concurrent-iteration tests use.
+template <typename K, typename V, typename KeyHash, typename ValueHash>
+uint64_t FingerprintIndex(const Index<K, V>& index, KeyHash&& key_hash,
+                          ValueHash&& value_hash) {
+  uint64_t sum = 0;
+  int64_t entries = 0;
+  index.ForEach([&](const K& key, const V& value) {
+    // Key and value are mixed independently before combining: a linear
+    // combination (k*c + v) would let distinct entries cancel in the
+    // commutative sum — exactly the corruption class being fingerprinted.
+    sum += MixHash(MixHash(key_hash(key)) ^
+                   MixHash(value_hash(value) + 0x517cc1b727220a95ull));
+    ++entries;
+    return true;
+  });
+  return MixHash(sum ^ MixHash(static_cast<uint64_t>(entries) + 0x9e3779b9ull));
+}
+
+// Fingerprint of the whole world. Must be called from a quiescent state (no
+// transaction installed, no concurrent workers).
+uint64_t DeepFingerprint(DataHolder& dh);
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_CHECK_FINGERPRINT_H_

@@ -1,0 +1,212 @@
+#include "src/check/fuzz.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/check/fingerprint.h"
+#include "src/common/timing.h"
+#include "src/core/invariants.h"
+#include "src/harness/driver.h"
+
+namespace sb7 {
+namespace {
+
+const std::vector<std::string>& AllOperationNames() {
+  static const std::vector<std::string>* names = []() {
+    auto* out = new std::vector<std::string>;
+    OperationRegistry registry;
+    for (const auto& op : registry.all()) {
+      out->push_back(op->name());
+    }
+    return out;
+  }();
+  return *names;
+}
+
+bool IsSingleThreaded(const FuzzCase& fuzz_case) {
+  for (const PhaseSpec& phase : fuzz_case.scenario.phases) {
+    if (phase.threads.value_or(1) != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Runs `fuzz_case` under one backend; returns the failure reason ("" = ok)
+// and the final deep fingerprint through `fingerprint`.
+std::string RunUnderBackend(const FuzzOptions& options, const FuzzCase& fuzz_case,
+                            const std::string& strategy, uint64_t& fingerprint) {
+  BenchConfig config;
+  config.strategy = strategy;
+  config.scale = options.scale;
+  config.seed = fuzz_case.structure_seed;
+  config.threads = 1;  // every phase carries its own thread count
+  // Phases end on their started-op caps; the wall-clock split only needs to
+  // be generous enough never to fire first.
+  config.length_seconds = 3600.0;
+  config.scenario = fuzz_case.scenario;
+
+  BenchmarkRunner runner(config);
+  runner.Run();
+  if (options.post_run_hook) {
+    options.post_run_hook(runner.data(), fuzz_case);
+  }
+  const InvariantReport invariants = CheckInvariants(runner.data());
+  fingerprint = DeepFingerprint(runner.data());
+  if (!invariants.ok()) {
+    return strategy + ": invariant violated: " + invariants.violations.front();
+  }
+  return "";
+}
+
+// Greedy shrink: force single-threaded, then remove phases to a fixpoint.
+FuzzCase Shrink(const FuzzOptions& options, const FuzzCase& failing, std::string& reason) {
+  FuzzCase minimal = failing;
+
+  FuzzCase single = minimal;
+  for (PhaseSpec& phase : single.scenario.phases) {
+    phase.threads = 1;
+  }
+  if (std::string r = RunFuzzCase(options, single); !r.empty()) {
+    minimal = std::move(single);
+    reason = std::move(r);
+  }
+
+  bool changed = true;
+  while (changed && minimal.scenario.phases.size() > 1) {
+    changed = false;
+    for (size_t p = 0; p < minimal.scenario.phases.size(); ++p) {
+      FuzzCase candidate = minimal;
+      candidate.scenario.phases.erase(candidate.scenario.phases.begin() +
+                                      static_cast<ptrdiff_t>(p));
+      if (std::string r = RunFuzzCase(options, candidate); !r.empty()) {
+        minimal = std::move(candidate);
+        reason = std::move(r);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return minimal;
+}
+
+}  // namespace
+
+FuzzCase GenerateFuzzCase(const FuzzOptions& options, int index) {
+  SB7_CHECK(!options.strategies.empty());
+  FuzzCase fuzz_case;
+  fuzz_case.index = index;
+  Rng rng(options.seed ^ MixHash(static_cast<uint64_t>(index) * 0x9e3779b97f4a7c15ull + 1));
+  fuzz_case.strategy = options.strategies[rng.NextBounded(options.strategies.size())];
+  fuzz_case.structure_seed = rng.Next();
+  // Roughly a third of cases run single-threaded so the differential
+  // fingerprint comparison applies; the rest hunt races with real threads.
+  const int max_threads = rng.NextBool(0.35) ? 1 : options.max_threads;
+  fuzz_case.scenario = ComposeRandomScenario(rng, AllOperationNames(), options.max_phases,
+                                             options.ops_per_phase, max_threads);
+  return fuzz_case;
+}
+
+std::string RunFuzzCase(const FuzzOptions& options, const FuzzCase& fuzz_case) {
+  if (IsSingleThreaded(fuzz_case) && options.strategies.size() > 1) {
+    // Deterministic case: every backend must agree on the final fingerprint.
+    uint64_t reference_fingerprint = 0;
+    std::string reference_strategy;
+    for (const std::string& strategy : options.strategies) {
+      uint64_t fingerprint = 0;
+      if (std::string reason = RunUnderBackend(options, fuzz_case, strategy, fingerprint);
+          !reason.empty()) {
+        return reason;
+      }
+      if (reference_strategy.empty()) {
+        reference_fingerprint = fingerprint;
+        reference_strategy = strategy;
+      } else if (fingerprint != reference_fingerprint) {
+        std::ostringstream message;
+        message << strategy << " vs " << reference_strategy
+                << ": structural fingerprints diverge (" << std::hex << fingerprint
+                << " != " << reference_fingerprint << ")";
+        return message.str();
+      }
+    }
+    return "";
+  }
+  uint64_t fingerprint = 0;
+  return RunUnderBackend(options, fuzz_case, fuzz_case.strategy, fingerprint);
+}
+
+std::string ReproduceCommand(const FuzzOptions& options, const FuzzCase& fuzz_case) {
+  std::ostringstream out;
+  out << "stmbench7 --fuzz " << options.seed << " --fuzz-case " << fuzz_case.index << " -s "
+      << options.scale;
+  if (options.ops_per_phase != FuzzOptions{}.ops_per_phase) {
+    out << " --fuzz-ops " << options.ops_per_phase;
+  }
+  if (options.strategies.size() == 1) {
+    out << " -g " << options.strategies.front();
+  }
+  // The generated case always carries max_phases phases at most; a shrunk
+  // case names the surviving subset and its (possibly reduced) threading.
+  const FuzzCase generated = GenerateFuzzCase(options, fuzz_case.index);
+  if (fuzz_case.scenario.phases.size() != generated.scenario.phases.size()) {
+    out << " --fuzz-phases ";
+    for (size_t p = 0; p < fuzz_case.scenario.phases.size(); ++p) {
+      out << (p == 0 ? "" : ",") << fuzz_case.scenario.phases[p].name;
+    }
+  }
+  bool threads_reduced = false;
+  for (size_t p = 0; p < fuzz_case.scenario.phases.size(); ++p) {
+    const std::string& name = fuzz_case.scenario.phases[p].name;
+    for (const PhaseSpec& original : generated.scenario.phases) {
+      if (original.name == name &&
+          original.threads.value_or(1) != fuzz_case.scenario.phases[p].threads.value_or(1)) {
+        threads_reduced = true;
+      }
+    }
+  }
+  if (threads_reduced) {
+    out << " --fuzz-threads 1";
+  }
+  return out.str();
+}
+
+FuzzReport RunFuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  const Stopwatch budget;
+  for (int index = 0; index < options.cases; ++index) {
+    if (options.budget_seconds > 0 && budget.ElapsedSeconds() >= options.budget_seconds) {
+      if (options.log != nullptr) {
+        *options.log << "fuzz: wall-clock budget reached after " << report.cases_run
+                     << " cases\n";
+      }
+      break;
+    }
+    const FuzzCase fuzz_case = GenerateFuzzCase(options, index);
+    if (options.log != nullptr) {
+      *options.log << "fuzz case " << index << ": " << fuzz_case.strategy << ", "
+                   << fuzz_case.scenario.phases.size() << " phases"
+                   << (IsSingleThreaded(fuzz_case) && options.strategies.size() > 1
+                           ? " (differential)"
+                           : "")
+                   << "\n";
+    }
+    std::string reason = RunFuzzCase(options, fuzz_case);
+    ++report.cases_run;
+    if (reason.empty()) {
+      continue;
+    }
+    if (options.log != nullptr) {
+      *options.log << "fuzz case " << index << " FAILED: " << reason << "\nshrinking...\n";
+    }
+    FuzzFailure failure;
+    failure.original = fuzz_case;
+    failure.reason = reason;
+    failure.minimal = Shrink(options, fuzz_case, failure.reason);
+    failure.reproduce_command = ReproduceCommand(options, failure.minimal);
+    report.failure = std::move(failure);
+    break;
+  }
+  return report;
+}
+
+}  // namespace sb7

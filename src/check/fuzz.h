@@ -1,0 +1,93 @@
+// Deterministic fuzz/stress driver over the scenario engine.
+//
+// A fuzz *case* is a pure function of (seed, case index): a randomly drawn
+// backend, structure seed, and random phase list (random read fractions,
+// category switches, operation blacklists, thread counts, hotspot skew —
+// see ComposeRandomScenario). Phases are capped by started-operation counts
+// rather than wall-clock, so a fixed-seed case replays exactly.
+//
+// Failure predicate per case:
+//   * the full invariant checker must pass after the run, and
+//   * for single-threaded (deterministic) cases, the deep structural
+//     fingerprint must agree across *all* configured backends — the
+//     differential oracle applied to a whole scenario run. Roughly a third
+//     of generated cases are forced single-threaded for this purpose.
+//
+// On failure the driver shrinks: first forcing every phase to one thread,
+// then greedily removing phases while the failure persists, yielding a
+// minimal phase list and a copy-pasteable reproduce command
+// (`stmbench7 --fuzz <seed> --fuzz-case <i> --fuzz-phases p1,p3 ...`).
+
+#ifndef STMBENCH7_SRC_CHECK_FUZZ_H_
+#define STMBENCH7_SRC_CHECK_FUZZ_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/core/data_holder.h"
+#include "src/scenario/scenario.h"
+
+namespace sb7 {
+
+struct FuzzCase {
+  int index = 0;
+  std::string strategy;      // backend for multi-threaded (race-hunting) cases
+  uint64_t structure_seed = 0;
+  Scenario scenario;         // phases named "p0", "p1", ...
+};
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  int cases = 25;
+  std::vector<std::string> strategies = {"fine",    "tl2",  "norec",
+                                         "tinystm", "astm", "mvstm"};
+  std::string scale = "tiny";
+  int64_t ops_per_phase = 150;
+  int max_phases = 4;
+  int max_threads = 4;
+  // Stop starting new cases once this much wall-clock has elapsed (0 = no
+  // budget). Case generation stays deterministic; only the count run varies.
+  double budget_seconds = 0.0;
+  // Progress log (nullptr = silent).
+  std::ostream* log = nullptr;
+  // Test-only fault injection: runs against the final structure of every
+  // case run, before the checks. Lets tests plant a deterministic bug and
+  // verify the driver finds, reproduces and shrinks it.
+  std::function<void(DataHolder&, const FuzzCase&)> post_run_hook;
+};
+
+// Deterministic: equal (options.seed, index) always yield the same case.
+FuzzCase GenerateFuzzCase(const FuzzOptions& options, int index);
+
+// Runs one case and returns the failure reason, or "" when it passed.
+std::string RunFuzzCase(const FuzzOptions& options, const FuzzCase& fuzz_case);
+
+// The command line that replays `fuzz_case` (including a --fuzz-phases
+// subset when the case was shrunk).
+std::string ReproduceCommand(const FuzzOptions& options, const FuzzCase& fuzz_case);
+
+struct FuzzFailure {
+  FuzzCase original;
+  FuzzCase minimal;           // after thread + phase shrinking
+  std::string reason;         // failure reason of the minimal case
+  std::string reproduce_command;
+};
+
+struct FuzzReport {
+  int cases_run = 0;
+  std::optional<FuzzFailure> failure;  // first failing case, shrunk
+
+  bool ok() const { return !failure.has_value(); }
+};
+
+// Runs cases 0..options.cases-1 (stopping early on the wall-clock budget or
+// the first failure, which is then shrunk).
+FuzzReport RunFuzz(const FuzzOptions& options);
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_CHECK_FUZZ_H_

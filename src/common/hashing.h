@@ -1,0 +1,33 @@
+// Shared non-cryptographic hashing helpers, used by the structural
+// invariant checksum (src/core/invariants.cc) and the correctness oracle's
+// deep fingerprint (src/check/fingerprint.*). One definition keeps the two
+// hash families from silently diverging.
+
+#ifndef STMBENCH7_SRC_COMMON_HASHING_H_
+#define STMBENCH7_SRC_COMMON_HASHING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace sb7 {
+
+// Avalanche mixer (the SplitMix64 finalizer).
+inline uint64_t MixHash(uint64_t value) {
+  uint64_t state = value;
+  return SplitMix64Next(state);
+}
+
+// FNV-1a folded through MixHash.
+inline uint64_t HashString(const std::string& text) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : text) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+  }
+  return MixHash(h);
+}
+
+}  // namespace sb7
+
+#endif  // STMBENCH7_SRC_COMMON_HASHING_H_

@@ -1,5 +1,6 @@
 #include "src/common/text.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "src/common/diag.h"
@@ -86,8 +87,28 @@ std::string BuildManualText(int64_t module_id, int size) {
 
 bool ParseInt64(const std::string& text, int64_t& out) {
   char* end = nullptr;
+  errno = 0;
   const long long value = std::strtoll(text.c_str(), &end, 10);
-  if (text.empty() || end == nullptr || *end != '\0') {
+  if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+bool ParseUint64(const std::string& text, uint64_t& out) {
+  if (!text.empty() && text[0] == '-') {
+    int64_t negative = 0;
+    if (!ParseInt64(text, negative)) {
+      return false;
+    }
+    out = static_cast<uint64_t>(negative);
+    return true;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
     return false;
   }
   out = value;

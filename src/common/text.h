@@ -39,9 +39,13 @@ std::string BuildDocumentText(int64_t part_id, int size);
 std::string BuildManualText(int64_t module_id, int size);
 
 // Strict whole-string number parsing, shared by the CLI and the scenario
-// spec parser: false on empty input or any trailing garbage.
+// spec parser: false on empty input, any trailing garbage, or overflow.
 bool ParseInt64(const std::string& text, int64_t& out);
 bool ParseDouble(const std::string& text, double& out);
+// Full-uint64 parsing for seeds: accepts either a non-negative decimal up to
+// 2^64-1 or a negative decimal (wrapped, mirroring `--seed -1` semantics),
+// so a seed printed back as unsigned always round-trips.
+bool ParseUint64(const std::string& text, uint64_t& out);
 
 }  // namespace sb7
 

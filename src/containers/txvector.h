@@ -42,7 +42,11 @@ class TxVector : public TmObject {
   bool Empty() const { return Size() == 0; }
 
   T Get(int64_t index) const {
-    SB7_DCHECK(index >= 0);
+    // Bound against the logical size, not the chunk capacity: a slot in
+    // [size, capacity) holds stale data from a removed or cleared element
+    // (the "printContents" bug class — an iteration bounded by capacity
+    // reads elements that no longer exist).
+    SB7_DCHECK(index >= 0 && index < Size());
     Chunk* chunk = chunk_.Get();
     SB7_DCHECK(index < static_cast<int64_t>(chunk->slots.size()));
     return chunk->slots[index].Get();
@@ -64,7 +68,9 @@ class TxVector : public TmObject {
   }
 
   // Removes by swapping the last element in; order is not preserved, which
-  // matches the bag/set semantics of all benchmark collections.
+  // matches the bag/set semantics of all benchmark collections. The vacated
+  // last slot keeps its stale value until overwritten by a later PushBack —
+  // accessors must bound by Size(), never by chunk capacity.
   void RemoveAt(int64_t index) {
     const int64_t size = size_.Get();
     SB7_DCHECK(index >= 0 && index < size);
@@ -107,6 +113,7 @@ class TxVector : public TmObject {
     return n;
   }
 
+  // Stale values stay behind in the slots (see RemoveAt).
   void Clear() { size_.Set(0); }
 
   // Applies fn(element) to each element; fn returning false stops early.

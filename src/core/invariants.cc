@@ -3,25 +3,11 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "src/common/rng.h"
+#include "src/common/hashing.h"
 #include "src/containers/index.h"
 
 namespace sb7 {
 namespace {
-
-uint64_t MixHash(uint64_t value) {
-  uint64_t state = value;
-  return SplitMix64Next(state);
-}
-
-uint64_t HashString(const std::string& text) {
-  // FNV-1a, folded through SplitMix for avalanche.
-  uint64_t h = 0xcbf29ce484222325ull;
-  for (char c : text) {
-    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
-  }
-  return MixHash(h);
-}
 
 class Checker {
  public:

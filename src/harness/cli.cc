@@ -29,6 +29,18 @@ std::string UsageText() {
   --csv <file>           also write a machine-readable CSV report
   --json <file>          also write a machine-readable JSON report
   --verify               check all structure invariants after the run
+  --check-opacity        record committed read/write sets and verify the
+                         history is opaque (STM strategies only)
+  --differential         run the differential cross-backend oracle instead of
+                         a benchmark (uses --seed, -s, --max-ops)
+  --fuzz <seed>          run the deterministic fuzz/stress driver (see also
+                         the --fuzz-* flags below; -g restricts backends)
+  --fuzz-cases <n>       number of fuzz cases to sweep (default 25)
+  --fuzz-case <i>        reproduce one fuzz case instead of sweeping
+  --fuzz-phases <names>  comma-separated phase subset for --fuzz-case
+  --fuzz-threads <n>     force every phase of --fuzz-case to n threads
+  --fuzz-ops <n>         started-operation cap per fuzz phase (default 150)
+  --fuzz-budget <sec>    wall-clock budget for the fuzz sweep
   --help                 show this message
 )";
 }
@@ -42,6 +54,15 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
     return result;
   };
 
+  bool fuzz_seed_given = false;
+  bool fuzz_sweep_flag_given = false;  // --fuzz-cases / --fuzz-budget
+  // The --fuzz-* companion flags may appear in any order relative to --fuzz.
+  auto fuzz_cli = [&result]() -> FuzzCli& {
+    if (!result.fuzz.has_value()) {
+      result.fuzz.emplace();
+    }
+    return *result.fuzz;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](std::string& out) {
@@ -82,6 +103,7 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
         return fail("unknown strategy: " + value);
       }
       config.strategy = value;
+      result.strategy_given = true;
     } else if (arg == "--no-traversals") {
       config.long_traversals = false;
     } else if (arg == "--no-sms") {
@@ -94,11 +116,11 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
       }
       config.scale = value;
     } else if (arg == "--seed") {
-      int64_t seed = 0;
-      if (!next(value) || !ParseInt64(value, seed)) {
+      uint64_t seed = 0;
+      if (!next(value) || !ParseUint64(value, seed)) {
         return fail("--seed requires an integer");
       }
-      config.seed = static_cast<uint64_t>(seed);
+      config.seed = seed;
     } else if (arg == "--index") {
       if (!next(value) ||
           (value != "stdmap" && value != "snapshot" && value != "skiplist")) {
@@ -150,6 +172,71 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
       config.json_path = value;
     } else if (arg == "--verify") {
       config.verify_invariants = true;
+    } else if (arg == "--check-opacity") {
+      config.check_opacity = true;
+    } else if (arg == "--differential") {
+      result.differential = true;
+    } else if (arg == "--fuzz") {
+      uint64_t seed = 0;
+      // Full-uint64 parsing: the shrinker prints the seed back as unsigned
+      // in reproduce commands, and that round-trip must be exact.
+      if (!next(value) || !ParseUint64(value, seed)) {
+        return fail("--fuzz requires an integer seed");
+      }
+      fuzz_cli().seed = seed;
+      fuzz_seed_given = true;
+    } else if (arg == "--fuzz-cases") {
+      int64_t cases = 0;
+      if (!next(value) || !ParseInt64(value, cases) || cases < 1) {
+        return fail("--fuzz-cases requires a positive integer");
+      }
+      fuzz_cli().cases = static_cast<int>(cases);
+      fuzz_sweep_flag_given = true;
+    } else if (arg == "--fuzz-case") {
+      int64_t index = 0;
+      if (!next(value) || !ParseInt64(value, index) || index < 0) {
+        return fail("--fuzz-case requires a non-negative integer");
+      }
+      fuzz_cli().case_index = static_cast<int>(index);
+    } else if (arg == "--fuzz-phases") {
+      if (!next(value) || value.empty()) {
+        return fail("--fuzz-phases requires a comma-separated phase list");
+      }
+      std::string name;
+      for (size_t begin = 0; begin <= value.size();) {
+        const size_t comma = value.find(',', begin);
+        name = value.substr(begin, comma == std::string::npos ? std::string::npos
+                                                              : comma - begin);
+        if (!name.empty()) {
+          fuzz_cli().phases.push_back(name);
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        begin = comma + 1;
+      }
+      if (fuzz_cli().phases.empty()) {
+        return fail("--fuzz-phases requires at least one phase name");
+      }
+    } else if (arg == "--fuzz-threads") {
+      int64_t threads = 0;
+      if (!next(value) || !ParseInt64(value, threads) || threads < 1) {
+        return fail("--fuzz-threads requires a positive integer");
+      }
+      fuzz_cli().threads_override = static_cast<int>(threads);
+    } else if (arg == "--fuzz-ops") {
+      int64_t ops = 0;
+      if (!next(value) || !ParseInt64(value, ops) || ops < 1) {
+        return fail("--fuzz-ops requires a positive integer");
+      }
+      fuzz_cli().ops_per_phase = ops;
+    } else if (arg == "--fuzz-budget") {
+      double seconds = 0;
+      if (!next(value) || !ParseDouble(value, seconds) || seconds <= 0) {
+        return fail("--fuzz-budget requires a positive number of seconds");
+      }
+      fuzz_cli().budget_seconds = seconds;
+      fuzz_sweep_flag_given = true;
     } else if (arg == "--max-ops") {
       int64_t cap = 0;
       if (!next(value) || !ParseInt64(value, cap) || cap < 0) {
@@ -159,6 +246,21 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
     } else {
       return fail("unknown argument: " + arg);
     }
+  }
+  if (result.fuzz.has_value() && !fuzz_seed_given) {
+    return fail("--fuzz-* flags require --fuzz <seed>");
+  }
+  // Mode flags that the selected mode would silently ignore are errors: a
+  // flag that reads as a constraint but does nothing misleads ("bug gone").
+  if (result.fuzz.has_value() && result.fuzz->case_index < 0 &&
+      (!result.fuzz->phases.empty() || result.fuzz->threads_override > 0)) {
+    return fail("--fuzz-phases/--fuzz-threads only apply with --fuzz-case <i>");
+  }
+  if (result.fuzz.has_value() && result.fuzz->case_index >= 0 && fuzz_sweep_flag_given) {
+    return fail("--fuzz-cases/--fuzz-budget only apply to a sweep, not --fuzz-case");
+  }
+  if (result.differential && result.strategy_given) {
+    return fail("--differential always compares all backends; -g is not applicable");
   }
   return result;
 }

@@ -7,14 +7,40 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/harness/driver.h"
 
 namespace sb7 {
 
+// `--fuzz`-mode arguments (see src/check/fuzz.h). Present iff --fuzz was
+// given; the benchmark-run flags (-s, -g, --max-ops) feed into the fuzz
+// options where they make sense.
+struct FuzzCli {
+  uint64_t seed = 0;
+  int cases = 25;
+  // >= 0: reproduce exactly this case instead of sweeping.
+  int case_index = -1;
+  // Phase-name subset for the reproduced case (from a shrunk repro command).
+  std::vector<std::string> phases;
+  // > 0: force every phase of the reproduced case to this thread count.
+  int threads_override = 0;
+  // Per-phase started-op cap override (--fuzz-ops).
+  int64_t ops_per_phase = 0;
+  // Wall-clock budget for the sweep (--fuzz-budget; 0 = none).
+  double budget_seconds = 0.0;
+};
+
 struct CliResult {
   BenchConfig config;
   bool show_help = false;
+  // True when -g was given explicitly (config.strategy alone cannot tell an
+  // explicit "-g coarse" from the default; --fuzz needs the distinction).
+  bool strategy_given = false;
+  // Run the differential cross-backend oracle instead of a benchmark.
+  bool differential = false;
+  // Run the deterministic fuzz driver instead of a benchmark.
+  std::optional<FuzzCli> fuzz;
   // Set when parsing failed; the message describes the offending argument.
   std::optional<std::string> error;
 };

@@ -157,6 +157,10 @@ void BenchmarkRunner::WorkerLoop(int worker_index, Rng rng,
   const int phase_count = static_cast<int>(phases_.size());
   std::vector<PaceState> pace_state(phases_.size());
 
+  // Register with the EBR domain before the first operation: a worker must
+  // be visible to reclamation before it can chase optimistic pointers.
+  EbrDomain::Global().Quiesce();
+
   while (!stop_.load(std::memory_order_relaxed)) {
     const int p = current_phase_.load(std::memory_order_acquire);
     if (p >= phase_count) {

@@ -54,6 +54,9 @@ struct BenchConfig {
   bool ttc_histograms = false;
   // Run the structural invariant checker after the benchmark (CLI --verify).
   bool verify_invariants = false;
+  // Record committed read/write sets during the run and check the history
+  // for opacity afterwards (CLI --check-opacity; STM strategies only).
+  bool check_opacity = false;
   // When non-empty, the CLI writes a machine-readable CSV here.
   std::string csv_path;
   // When non-empty, the CLI writes a machine-readable JSON report here.

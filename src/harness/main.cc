@@ -1,11 +1,111 @@
-// The stmbench7 command-line benchmark (Appendix A).
+// The stmbench7 command-line benchmark (Appendix A), plus the correctness-
+// oracle modes: --differential (cross-backend replay), --fuzz (deterministic
+// fuzz/stress sweep with shrinking) and --check-opacity (record the run's
+// committed history and verify it is opaque).
 
 #include <fstream>
 #include <iostream>
 
+#include "src/check/differential.h"
+#include "src/check/fuzz.h"
+#include "src/check/history.h"
 #include "src/core/invariants.h"
 #include "src/harness/cli.h"
 #include "src/harness/report.h"
+
+namespace {
+
+int RunDifferentialMode(const sb7::BenchConfig& config) {
+  sb7::DifferentialOptions options;
+  options.scale = config.scale;
+  options.seed = config.seed;
+  if (config.max_operations > 0) {
+    options.operations = static_cast<int>(config.max_operations);
+  }
+  options.long_traversals = config.long_traversals;
+  options.structure_mods = config.structure_mods;
+  options.disabled_ops = config.disabled_ops;
+  std::cerr << "replaying " << options.operations << " operations under "
+            << options.strategies.size() << " backends...\n";
+  const sb7::DifferentialReport report = sb7::RunDifferential(options);
+  std::cout << sb7::FormatDifferentialReport(report);
+  return report.ok() ? 0 : 1;
+}
+
+int RunFuzzMode(const sb7::BenchConfig& config, bool strategy_given,
+                const sb7::FuzzCli& cli) {
+  sb7::FuzzOptions options;
+  options.seed = cli.seed;
+  options.cases = cli.cases;
+  options.scale = config.scale;
+  options.budget_seconds = cli.budget_seconds;
+  options.log = &std::cerr;
+  if (cli.ops_per_phase > 0) {
+    options.ops_per_phase = cli.ops_per_phase;
+  }
+  // An explicit -g restricts the sweep to that backend; the default sweeps
+  // every strategy the differential fingerprint can compare.
+  if (strategy_given) {
+    options.strategies = {config.strategy};
+  }
+
+  if (cli.case_index >= 0) {
+    sb7::FuzzCase fuzz_case = sb7::GenerateFuzzCase(options, cli.case_index);
+    if (!cli.phases.empty()) {
+      std::vector<sb7::PhaseSpec> kept;
+      for (const sb7::PhaseSpec& phase : fuzz_case.scenario.phases) {
+        for (const std::string& name : cli.phases) {
+          if (phase.name == name) {
+            kept.push_back(phase);
+            break;
+          }
+        }
+      }
+      if (kept.empty()) {
+        std::cerr << "error: --fuzz-phases matched no phase of case " << cli.case_index
+                  << "\n";
+        return 2;
+      }
+      fuzz_case.scenario.phases = std::move(kept);
+    }
+    if (cli.threads_override > 0) {
+      for (sb7::PhaseSpec& phase : fuzz_case.scenario.phases) {
+        phase.threads = cli.threads_override;
+      }
+    }
+    std::cerr << "reproducing fuzz case " << cli.case_index << " ("
+              << fuzz_case.scenario.phases.size() << " phases, backend "
+              << fuzz_case.strategy << ")...\n";
+    const std::string reason = sb7::RunFuzzCase(options, fuzz_case);
+    if (reason.empty()) {
+      std::cout << "fuzz case " << cli.case_index << ": OK\n";
+      return 0;
+    }
+    std::cout << "fuzz case " << cli.case_index << ": FAILED\n  " << reason << "\n";
+    return 1;
+  }
+
+  const sb7::FuzzReport report = sb7::RunFuzz(options);
+  if (report.ok()) {
+    std::cout << "fuzz: " << report.cases_run << " cases passed (seed " << options.seed
+              << ")\n";
+    return 0;
+  }
+  const sb7::FuzzFailure& failure = *report.failure;
+  std::cout << "fuzz: case " << failure.original.index << " FAILED after "
+            << report.cases_run << " cases\n";
+  std::cout << "  reason:    " << failure.reason << "\n";
+  std::cout << "  minimal:   " << failure.minimal.scenario.phases.size() << " of "
+            << failure.original.scenario.phases.size() << " phases (";
+  for (size_t p = 0; p < failure.minimal.scenario.phases.size(); ++p) {
+    std::cout << (p == 0 ? "" : ",") << failure.minimal.scenario.phases[p].name;
+  }
+  std::cout << ")\n";
+  std::cout << "  reproduce: " << failure.reproduce_command << "\n";
+  return 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   sb7::CliResult cli = sb7::ParseCommandLine(argc, argv);
@@ -17,6 +117,12 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << *cli.error << "\n" << sb7::UsageText();
     return 2;
   }
+  if (cli.differential) {
+    return RunDifferentialMode(cli.config);
+  }
+  if (cli.fuzz.has_value()) {
+    return RunFuzzMode(cli.config, cli.strategy_given, *cli.fuzz);
+  }
 
   std::cerr << "building the " << cli.config.scale << " structure...\n";
   sb7::BenchmarkRunner runner(cli.config);
@@ -27,7 +133,20 @@ int main(int argc, char** argv) {
               << cli.config.scenario->phases.size() << " phases)";
   }
   std::cerr << "...\n";
+
+  sb7::HistoryRecorder recorder;
+  const bool record_opacity = cli.config.check_opacity && runner.strategy().stm() != nullptr;
+  if (cli.config.check_opacity && !record_opacity) {
+    std::cerr << "note: --check-opacity records transactional histories; strategy '"
+              << cli.config.strategy << "' runs no transactions, nothing to check\n";
+  }
+  if (record_opacity) {
+    recorder.Install();
+  }
   const sb7::BenchResult result = runner.Run();
+  if (record_opacity) {
+    recorder.Uninstall();
+  }
   sb7::PrintReport(std::cout, runner, result);
 
   if (!cli.config.csv_path.empty()) {
@@ -50,6 +169,37 @@ int main(int argc, char** argv) {
     std::cerr << "JSON written to " << cli.config.json_path << "\n";
   }
 
+  int exit_code = 0;
+  if (record_opacity) {
+    const sb7::History history = recorder.TakeHistory();
+    if (history.truncated) {
+      // A truncated history drops commits by mutex-arrival order, so kept
+      // transactions can depend on dropped ones — checking it would report
+      // false violations for a correct backend.
+      std::cerr << "opacity: SKIPPED — recorder hit its transaction cap ("
+                << history.committed.size()
+                << " kept); rerun with --max-ops to bound the history\n";
+    } else {
+      std::cerr << "checking opacity of " << history.committed.size()
+                << " recorded transactions...\n";
+      const sb7::OpacityResult opacity = sb7::CheckOpacity(history);
+      if (opacity.ok()) {
+        std::cerr << "opacity: OK (" << opacity.serialized_updates
+                  << " update transactions serialized)\n";
+      } else if (opacity.inconclusive) {
+        // Could not certify, but non-opacity was not proven either. Still a
+        // failed gate (an oracle must not silently pass what it cannot
+        // check), but labelled so nobody hunts a nonexistent STM bug.
+        std::cerr << "opacity: INCONCLUSIVE — " << opacity.diagnosis
+                  << "; rerun with a smaller --max-ops to bound the history\n";
+        exit_code = 1;
+      } else {
+        std::cerr << "OPACITY VIOLATION: " << opacity.diagnosis << "\n";
+        exit_code = 1;
+      }
+    }
+  }
+
   if (cli.config.verify_invariants) {
     const sb7::InvariantReport report = sb7::CheckInvariants(runner.data());
     if (!report.ok()) {
@@ -62,5 +212,5 @@ int main(int argc, char** argv) {
     std::cerr << "structure invariants: OK (" << report.atomic_parts << " atomic parts, "
               << report.base_assemblies << " base assemblies live)\n";
   }
-  return 0;
+  return exit_code;
 }

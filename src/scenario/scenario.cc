@@ -356,6 +356,33 @@ ScenarioParseResult ParseScenarioSpec(std::istream& in, std::string_view default
   return result;
 }
 
+Scenario ComposeRandomScenario(Rng& rng, const std::vector<std::string>& op_names,
+                               int max_phases, int64_t ops_per_phase, int max_threads) {
+  Scenario scenario;
+  scenario.name = "fuzz";
+  const int phase_count = 1 + static_cast<int>(rng.NextBounded(
+                                  static_cast<uint64_t>(max_phases < 1 ? 1 : max_phases)));
+  for (int p = 0; p < phase_count; ++p) {
+    PhaseSpec phase = MakePhase("p" + std::to_string(p), 1.0);
+    phase.read_fraction = rng.NextDouble();
+    phase.long_traversals = rng.NextBool(0.5);
+    phase.structure_mods = rng.NextBool(0.7);
+    phase.threads = 1 + static_cast<int>(rng.NextBounded(
+                            static_cast<uint64_t>(max_threads < 1 ? 1 : max_threads)));
+    if (rng.NextBool(0.4)) {
+      phase.zipf_theta = 0.6 + 0.39 * rng.NextDouble();
+      phase.hot_fraction = 0.05 + 0.2 * rng.NextDouble();
+    }
+    const uint64_t blacklisted = rng.NextBounded(4);  // 0..3 disabled ops
+    for (uint64_t b = 0; b < blacklisted && !op_names.empty(); ++b) {
+      phase.disabled_ops.insert(op_names[rng.NextBounded(op_names.size())]);
+    }
+    phase.max_ops = ops_per_phase;
+    scenario.phases.push_back(std::move(phase));
+  }
+  return scenario;
+}
+
 ScenarioParseResult LoadScenario(const std::string& name_or_path) {
   if (std::optional<Scenario> builtin = FindBuiltinScenario(name_or_path)) {
     return ScenarioParseResult{std::move(builtin), ""};

@@ -111,6 +111,17 @@ ScenarioParseResult ParseScenarioSpec(std::istream& in, std::string_view default
 // path. Unknown names produce an error listing the valid built-ins.
 ScenarioParseResult LoadScenario(const std::string& name_or_path);
 
+// Random phase composition for the fuzz driver (src/check/fuzz.*): draws a
+// 1..max_phases phase list with random read fractions, category switches,
+// per-phase operation blacklists (from `op_names`), thread counts and
+// hotspot skew. Deterministic in the Rng stream. Phases are named "p0",
+// "p1", ... so a shrunk subset can be named in a reproduce command. Every
+// phase is closed-loop and capped at `ops_per_phase` started operations —
+// the caps, not wall-clock, end the phases, which is what keeps fixed-seed
+// fuzz cases replayable.
+Scenario ComposeRandomScenario(Rng& rng, const std::vector<std::string>& op_names,
+                               int max_phases, int64_t ops_per_phase, int max_threads);
+
 }  // namespace sb7
 
 #endif  // STMBENCH7_SRC_SCENARIO_SCENARIO_H_

@@ -19,6 +19,7 @@ void AstmTx::BeginAttempt() {
   read_map_.clear();
   write_map_.clear();
   write_order_.clear();
+  priority_.store(0, std::memory_order_relaxed);
   local_reads_ = local_writes_ = local_validation_steps_ = local_bytes_cloned_ = 0;
 }
 
@@ -94,6 +95,7 @@ uint64_t AstmTx::OpenRead(const TmUnit& unit) {
     throw TxAborted{};
   }
   read_map_.emplace(&unit, version);
+  priority_.fetch_add(1, std::memory_order_relaxed);
   return version;
 }
 
@@ -148,6 +150,7 @@ AstmTx::WriteImage& AstmTx::OpenWrite(TmUnit& unit) {
     local_bytes_cloned_ += static_cast<int64_t>(payload.size());
   }
   write_order_.push_back(&unit);
+  priority_.fetch_add(1, std::memory_order_relaxed);
   return write_map_.emplace(&unit, std::move(image)).first->second;
 }
 
@@ -199,6 +202,9 @@ void AstmTx::ReleaseOwnerships() {
   }
   write_order_.clear();
   write_map_.clear();
+  // Keep the advertised priority consistent with the surviving read list
+  // until the next BeginAttempt resets both.
+  priority_.store(static_cast<int64_t>(read_map_.size()), std::memory_order_relaxed);
 }
 
 void AstmTx::AbortSelf() {

@@ -61,10 +61,11 @@ class AstmTx : public TxImplBase {
   void AbortSelf() override;
 
   // Contention-manager interface: a transaction's priority is its investment,
-  // measured in opened objects.
-  int64_t Priority() const {
-    return static_cast<int64_t>(read_map_.size() + write_map_.size());
-  }
+  // measured in opened objects. Contention managers read it on *other*
+  // threads while this transaction keeps opening objects, so it is a
+  // dedicated atomic mirror of read_map_.size() + write_map_.size() — the
+  // maps themselves must never be touched cross-thread.
+  int64_t Priority() const { return priority_.load(std::memory_order_relaxed); }
   AstmStatus status() const { return status_.load(std::memory_order_acquire); }
 
   // Attempts to kill this transaction; returns true if the kill landed.
@@ -92,6 +93,8 @@ class AstmTx : public TxImplBase {
   StmStats& stats_;
   ContentionManager* cm_;
   std::atomic<AstmStatus> status_{AstmStatus::kActive};
+  // Cross-thread-readable open count (see Priority()).
+  std::atomic<int64_t> priority_{0};
 
   std::unordered_map<const TmUnit*, uint64_t> read_map_;  // unit -> version
   std::unordered_map<TmUnit*, WriteImage> write_map_;

@@ -152,6 +152,50 @@ inline thread_local Transaction* tls_current_tx = nullptr;
 inline Transaction* CurrentTx() { return tls_current_tx; }
 inline void SetCurrentTx(Transaction* tx) { tls_current_tx = tx; }
 
+// Observation seam for the correctness oracle (src/check/history.*).
+//
+// When an observer is installed, every transactional field access and every
+// attempt boundary (begin / commit / abort, driven by Stm::RunAtomically) is
+// reported to it. The hook is a single relaxed load of a global pointer on
+// the hot path — null in normal runs, so benchmark numbers are unaffected
+// unless recording was explicitly requested. Install/uninstall only while no
+// transactions are in flight; the observer itself must be thread-safe (it is
+// called concurrently from every worker).
+class TxObserver {
+ public:
+  virtual ~TxObserver() = default;
+
+  // A new attempt started on the calling thread (read_only = retry-loop hint).
+  virtual void OnTxBegin(bool read_only) = 0;
+  // `value`/`word` are the raw 64-bit encodings the STM returned/consumed.
+  virtual void OnTxRead(const TxFieldBase& field, uint64_t word) = 0;
+  virtual void OnTxWrite(const TxFieldBase& field, uint64_t word) = 0;
+  // The attempt committed; called after the commit point, on the committing
+  // thread, before control returns to the operation.
+  virtual void OnTxCommit() = 0;
+  virtual void OnTxAbort() = 0;
+  // A field was constructed (word = its initial value). Needed because field
+  // addresses are recycled: a node freed through EBR and a node later
+  // allocated at the same address are different logical locations, and the
+  // birth event is what re-grounds the address in a recorded history.
+  virtual void OnFieldBirth(const TxFieldBase& field, uint64_t word) = 0;
+  // A raw (non-transactional) store. Inside a transaction this is either
+  // pre-publication seeding of a private object or STM writeback of already
+  // recorded values; both are safely treated as writes of the enclosing
+  // transaction.
+  virtual void OnRawStore(const TxFieldBase& field, uint64_t word) = 0;
+};
+
+inline std::atomic<TxObserver*> g_tx_observer{nullptr};
+
+inline TxObserver* CurrentTxObserver() {
+  return g_tx_observer.load(std::memory_order_relaxed);
+}
+// Returns the previously installed observer (normally null).
+inline TxObserver* InstallTxObserver(TxObserver* observer) {
+  return g_tx_observer.exchange(observer, std::memory_order_acq_rel);
+}
+
 namespace internal {
 // Defined in src/mvstm/version_chain.cc. Frees the head node of a field's
 // multi-version history; all older nodes were retired through EBR when they
@@ -167,6 +211,9 @@ class TxFieldBase {
  public:
   TxFieldBase(TmUnit& owner, uint64_t initial) : word_(initial), owner_(&owner) {
     index_in_unit_ = owner.RegisterField(this);
+    if (TxObserver* observer = CurrentTxObserver()) {
+      observer->OnFieldBirth(*this, initial);
+    }
   }
   TxFieldBase(const TxFieldBase&) = delete;
   TxFieldBase& operator=(const TxFieldBase&) = delete;
@@ -188,6 +235,9 @@ class TxFieldBase {
   }
   void StoreRaw(uint64_t value, std::memory_order order = std::memory_order_release) {
     word_.store(value, order);
+    if (TxObserver* observer = CurrentTxObserver()) {
+      observer->OnRawStore(*this, value);
+    }
   }
 
   // --- multi-version hook (mvstm backend) ---
@@ -236,14 +286,22 @@ class TxField : public TxFieldBase {
 
   T Get() const {
     if (Transaction* tx = CurrentTx()) {
-      return internal::DecodeWord<T>(tx->Read(*this));
+      const uint64_t word = tx->Read(*this);
+      if (TxObserver* observer = CurrentTxObserver()) {
+        observer->OnTxRead(*this, word);
+      }
+      return internal::DecodeWord<T>(word);
     }
     return internal::DecodeWord<T>(LoadRaw());
   }
 
   void Set(const T& value) {
     if (Transaction* tx = CurrentTx()) {
-      tx->Write(*this, internal::EncodeWord(value));
+      const uint64_t word = internal::EncodeWord(value);
+      tx->Write(*this, word);
+      if (TxObserver* observer = CurrentTxObserver()) {
+        observer->OnTxWrite(*this, word);
+      }
     } else {
       StoreRaw(internal::EncodeWord(value));
     }

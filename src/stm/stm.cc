@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/ebr/ebr.h"
 
 namespace sb7 {
 namespace {
@@ -14,9 +15,28 @@ std::atomic<uint64_t> g_stm_instance_counter{1};
 
 // Cache of transaction objects, keyed by STM instance id so that a recreated
 // Stm at a recycled address cannot pick up a stale implementation.
+//
+// Lifetime: transaction objects are reachable from *other* threads — the
+// ASTM contention managers follow unit.astm_owner to read the enemy's status
+// and priority — so a thread exiting must not free its cached transactions
+// outright (the classic descriptor use-after-free). Instead they are retired
+// through EBR, which defers the free until every registered thread has passed
+// a quiescent state and thus dropped any owner pointer it was chasing.
 struct TxCacheEntry {
-  uint64_t instance_id;
+  uint64_t instance_id = 0;
   std::unique_ptr<TxImplBase> tx;
+
+  TxCacheEntry(uint64_t id, std::unique_ptr<TxImplBase> t) : instance_id(id), tx(std::move(t)) {}
+  // Move-construction (vector growth) leaves the source empty, so only the
+  // final owner retires. Move-assignment would plain-delete the overwritten
+  // descriptor behind EBR's back — deleted until a call site needs it.
+  TxCacheEntry(TxCacheEntry&&) = default;
+  TxCacheEntry& operator=(TxCacheEntry&&) = delete;
+  ~TxCacheEntry() {
+    if (tx != nullptr) {
+      EbrDomain::Global().RetireObject(tx.release());
+    }
+  }
 };
 
 thread_local std::vector<TxCacheEntry> tls_tx_cache;
@@ -55,12 +75,20 @@ void Backoff::Pause(int attempt) {
 Stm::Stm() : instance_id_(g_stm_instance_counter.fetch_add(1, std::memory_order_relaxed)) {}
 
 TxImplBase& Stm::LocalTx() {
+  // First transactional access on this thread: register with the EBR domain
+  // (a quiescent point — no shared references are held yet) so reclamation
+  // accounts for this thread from its very first operation. Evaluated before
+  // tls_tx_cache is first touched: thread-locals are destroyed in reverse
+  // construction order, and the cache's destructor retires into EBR, so the
+  // EBR per-thread state must be constructed first (destroyed last).
+  thread_local bool ebr_registered = (EbrDomain::Global().Quiesce(), true);
+  (void)ebr_registered;
   for (auto& entry : tls_tx_cache) {
     if (entry.instance_id == instance_id_) {
       return *entry.tx;
     }
   }
-  tls_tx_cache.push_back(TxCacheEntry{instance_id_, CreateTx()});
+  tls_tx_cache.emplace_back(instance_id_, CreateTx());
   return *tls_tx_cache.back().tx;
 }
 
@@ -73,6 +101,13 @@ void Stm::RunAtomically(const std::function<void(Transaction&)>& body, bool read
   }
   for (int attempt = 0;; ++attempt) {
     Backoff::Pause(attempt);
+    // Observed before BeginAttempt so the recorded begin event precedes any
+    // attempt state (e.g. the TL2-family clock read): the attempt's
+    // serialization point then provably lies inside its recorded
+    // [begin, commit] interval, which the opacity checker's search exploits.
+    if (TxObserver* observer = CurrentTxObserver()) {
+      observer->OnTxBegin(read_only);
+    }
     tx.BeginAttempt();
     SetCurrentTx(&tx);
     try {
@@ -82,6 +117,9 @@ void Stm::RunAtomically(const std::function<void(Transaction&)>& body, bool read
         stats_.commits.fetch_add(1, std::memory_order_relaxed);
         if (read_only) {
           stats_.ro_commits.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (TxObserver* observer = CurrentTxObserver()) {
+          observer->OnTxCommit();
         }
         return;
       }
@@ -97,12 +135,18 @@ void Stm::RunAtomically(const std::function<void(Transaction&)>& body, bool read
         if (read_only) {
           stats_.ro_commits.fetch_add(1, std::memory_order_relaxed);
         }
+        if (TxObserver* observer = CurrentTxObserver()) {
+          observer->OnTxCommit();
+        }
         throw;
       }
     }
     stats_.aborts.fetch_add(1, std::memory_order_relaxed);
     if (read_only) {
       stats_.ro_aborts.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (TxObserver* observer = CurrentTxObserver()) {
+      observer->OnTxAbort();
     }
   }
 }

@@ -1,0 +1,126 @@
+// Contention-manager stress for the ASTM-like STM, written to run under
+// ThreadSanitizer (it is part of the CI TSan test set).
+//
+// The polka and karma managers read the *enemy transaction's* Priority()
+// while the enemy keeps opening objects on its own thread — the exact
+// cross-thread access that used to race on the read/write maps before
+// Priority() became an atomic mirror. The test forces sustained conflicts on
+// a small hot set so OnConflict fires constantly, for every manager that
+// dereferences the enemy, and then checks the bank-conservation invariant.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/stm/astm.h"
+
+namespace sb7 {
+namespace {
+
+class Cell : public TmObject {
+ public:
+  explicit Cell(int64_t initial = 0) : value(unit(), initial) {}
+  TxField<int64_t> value;
+};
+
+class AstmContentionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AstmContentionTest, CrossThreadPriorityReadsAreRaceFreeAndConserve) {
+  AstmStm stm(MakeContentionManager(GetParam()));
+  constexpr int kAccounts = 4;  // tiny hot set: almost every tx conflicts
+  constexpr int kThreads = 4;
+  constexpr int kTransfersPerThread = 2000;
+  constexpr int64_t kInitial = 1000;
+
+  std::vector<std::unique_ptr<Cell>> accounts;
+  for (int i = 0; i < kAccounts; ++i) {
+    accounts.push_back(std::make_unique<Cell>(kInitial));
+  }
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(77 + t);
+      for (int i = 0; i < kTransfersPerThread; ++i) {
+        const int from = static_cast<int>(rng.NextBounded(kAccounts));
+        const int to = static_cast<int>(rng.NextBounded(kAccounts));
+        const int64_t amount = rng.NextInRange(1, 5);
+        stm.RunAtomically([&](Transaction&) {
+          // Open several objects before the contended writes so Priority()
+          // is non-trivial when the managers compare investments.
+          int64_t sum = 0;
+          for (const auto& account : accounts) {
+            sum += account->value.Get();
+          }
+          (void)sum;
+          accounts[from]->value.Set(accounts[from]->value.Get() - amount);
+          accounts[to]->value.Set(accounts[to]->value.Get() + amount);
+        });
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  int64_t total = 0;
+  for (const auto& account : accounts) {
+    total += account->value.Get();
+  }
+  EXPECT_EQ(total, kAccounts * kInitial);
+  EXPECT_EQ(stm.stats().commits.load(),
+            static_cast<int64_t>(kThreads) * kTransfersPerThread);
+}
+
+INSTANTIATE_TEST_SUITE_P(PriorityReadingManagers, AstmContentionTest,
+                         ::testing::Values("polka", "karma", "aggressive", "timid"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(AstmPriorityTest, PriorityStaysReadableWhileOwnerKeepsOpening) {
+  // Directly exercises the racy pattern: one thread opens objects in a long
+  // transaction while another polls its Priority() through the unit's owner
+  // pointer, exactly as a contention manager does.
+  AstmStm stm;
+  constexpr int kCells = 64;
+  std::vector<std::unique_ptr<Cell>> cells;
+  for (int i = 0; i < kCells; ++i) {
+    cells.push_back(std::make_unique<Cell>(i));
+  }
+  std::atomic<bool> opening{false};
+  std::atomic<bool> done{false};
+
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (!opening.load(std::memory_order_acquire)) {
+        continue;
+      }
+      if (AstmTx* owner = cells[0]->unit().astm_owner.load(std::memory_order_acquire)) {
+        const int64_t priority = owner->Priority();
+        EXPECT_GE(priority, 0);
+        EXPECT_LE(priority, kCells);
+      }
+    }
+  });
+
+  for (int round = 0; round < 200; ++round) {
+    stm.RunAtomically([&](Transaction&) {
+      cells[0]->value.Set(round);  // acquire ownership: the poller can see us
+      opening.store(true, std::memory_order_release);
+      for (int i = 1; i < kCells; ++i) {
+        cells[i]->value.Get();  // keep growing the read map mid-poll
+      }
+    });
+    opening.store(false, std::memory_order_release);
+  }
+  done.store(true, std::memory_order_release);
+  poller.join();
+}
+
+}  // namespace
+}  // namespace sb7

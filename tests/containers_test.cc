@@ -332,5 +332,146 @@ TEST(TxVectorStmTest, ConcurrentPushesAllLand) {
   }
 }
 
+// --- stale-capacity / off-by-one audit regressions (the "printContents"
+// bug class: iteration or access bounded by chunk capacity instead of the
+// logical size reads elements that no longer exist) ---
+
+TEST(TxVectorAuditTest, RemovedElementsAreNeverVisibleThroughAnyAccessor) {
+  TxVector<int64_t> vec;
+  for (int64_t i = 0; i < 6; ++i) {
+    vec.PushBack(i);
+  }
+  vec.RemoveAt(2);  // swaps 5 into slot 2; slot 5 keeps a stale copy of 5
+  EXPECT_EQ(vec.Size(), 5);
+  EXPECT_FALSE(vec.Contains(2));
+  EXPECT_EQ(vec.Count(5), 1);  // the stale trailing copy must not be counted
+  int64_t visited = 0;
+  int64_t sum = 0;
+  vec.ForEach([&](int64_t value) {
+    ++visited;
+    sum += value;
+    return true;
+  });
+  EXPECT_EQ(visited, vec.Size());
+  EXPECT_EQ(sum, 0 + 1 + 5 + 3 + 4);
+}
+
+TEST(TxVectorAuditTest, ClearedElementsAreNeverVisible) {
+  TxVector<int64_t> vec(/*initial_capacity=*/2);
+  for (int64_t i = 0; i < 7; ++i) {
+    vec.PushBack(100 + i);
+  }
+  vec.Clear();
+  EXPECT_EQ(vec.Size(), 0);
+  EXPECT_FALSE(vec.Contains(103));
+  EXPECT_EQ(vec.Count(100), 0);
+  int64_t visited = 0;
+  vec.ForEach([&visited](int64_t) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 0);
+  // Refilling reuses the slots; only the fresh prefix is visible.
+  vec.PushBack(-1);
+  EXPECT_EQ(vec.Size(), 1);
+  EXPECT_EQ(vec.Get(0), -1);
+  EXPECT_FALSE(vec.Contains(106));  // stale slot beyond the new size
+  EbrDomain::Global().DrainAll();
+}
+
+TEST(TxVectorAuditTest, GrowAtExactCapacityBoundariesPreservesEveryPrefix) {
+  TxVector<int64_t> vec(/*initial_capacity=*/1);
+  for (int64_t i = 0; i < 33; ++i) {  // crosses 1->2->4->8->16->32->64
+    vec.PushBack(i * 7);
+    for (int64_t j = 0; j <= i; ++j) {
+      ASSERT_EQ(vec.Get(j), j * 7) << "after push " << i;
+    }
+  }
+  EbrDomain::Global().DrainAll();
+}
+
+TEST(TxVectorAuditTest, RemoveLastLeavesPrefixIntact) {
+  TxVector<int64_t> vec;
+  for (int64_t i = 0; i < 4; ++i) {
+    vec.PushBack(i);
+  }
+  vec.RemoveAt(3);  // no swap: removing the last element
+  EXPECT_EQ(vec.Size(), 3);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(vec.Get(i), i);
+  }
+  EXPECT_FALSE(vec.Contains(3));
+}
+
+TEST(IndexAuditTest, SkipListReinsertAfterRemoveKeepsOrderAndSize) {
+  SkipListIndex<int64_t, int64_t*> index;
+  int64_t value = 0;
+  for (int64_t key : {2, 4, 6, 8}) {
+    index.Insert(key, &value);
+  }
+  EXPECT_TRUE(index.Remove(4));
+  EXPECT_TRUE(index.Insert(4, &value));  // fresh node, same key
+  EXPECT_EQ(index.Size(), 4);
+  std::vector<int64_t> seen;
+  index.ForEach([&seen](const int64_t& key, int64_t* const&) {
+    seen.push_back(key);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{2, 4, 6, 8}));
+  EbrDomain::Global().DrainAll();
+}
+
+TEST(IndexAuditTest, TransactionalRemoveOfAbsentKeyCommitsNothing) {
+  // The snapshot index's transactional remove must not clone-and-publish
+  // when the key is absent; the skip list must not unlink anything.
+  auto stm = MakeStm("tl2");
+  for (int kind = 0; kind < 2; ++kind) {
+    std::unique_ptr<Index<int64_t, int64_t*>> index;
+    if (kind == 0) {
+      index = std::make_unique<SnapshotIndex<int64_t, int64_t*>>();
+    } else {
+      index = std::make_unique<SkipListIndex<int64_t, int64_t*>>();
+    }
+    int64_t value = 0;
+    index->Insert(1, &value);
+    bool removed = true;
+    stm->RunAtomically([&](Transaction&) { removed = index->Remove(99); });
+    EXPECT_FALSE(removed) << kind;
+    EXPECT_EQ(index->Size(), 1) << kind;
+    EXPECT_EQ(index->Lookup(1), &value) << kind;
+  }
+  EbrDomain::Global().DrainAll();
+}
+
+TEST(IndexAuditTest, DateKeyHelpersRoundTripAtTheIdBoundaries) {
+  // The date index emulates a multimap with (date, id) composite keys; an
+  // off-by-one in the bounds would leak adjacent dates into range scans.
+  const int64_t date = 2007;
+  for (const int64_t id : {int64_t{0}, int64_t{1}, int64_t{0x7fffffff}, int64_t{0xffffffff}}) {
+    const int64_t key = MakeDateKey(date, id);
+    EXPECT_EQ(DateKeyDate(key), date) << id;
+    EXPECT_GE(key, DateKeyLowerBound(date)) << id;
+    EXPECT_LE(key, DateKeyUpperBound(date)) << id;
+  }
+  EXPECT_LT(DateKeyUpperBound(date), DateKeyLowerBound(date + 1));
+  EXPECT_GT(DateKeyLowerBound(date), DateKeyUpperBound(date - 1));
+  // A range scan keyed on one date sees exactly that date's entries.
+  StdMapIndex<int64_t, int64_t*> index;
+  int64_t value = 0;
+  for (int64_t d = date - 1; d <= date + 1; ++d) {
+    for (int64_t id = 0; id < 3; ++id) {
+      index.Insert(MakeDateKey(d, id), &value);
+    }
+  }
+  int64_t seen = 0;
+  index.Range(DateKeyLowerBound(date), DateKeyUpperBound(date),
+              [&seen](const int64_t& key, int64_t* const&) {
+                EXPECT_EQ(DateKeyDate(key), 2007);
+                ++seen;
+                return true;
+              });
+  EXPECT_EQ(seen, 3);
+}
+
 }  // namespace
 }  // namespace sb7

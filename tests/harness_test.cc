@@ -125,6 +125,70 @@ TEST(CliTest, ParsesReadRatioCsvAndVerify) {
   EXPECT_TRUE(Parse({"--csv"}).error.has_value());
 }
 
+TEST(CliTest, ParsesCorrectnessOracleModes) {
+  const CliResult opacity = Parse({"--check-opacity"});
+  ASSERT_FALSE(opacity.error.has_value());
+  EXPECT_TRUE(opacity.config.check_opacity);
+
+  const CliResult differential = Parse({"--differential", "--max-ops", "50"});
+  ASSERT_FALSE(differential.error.has_value());
+  EXPECT_TRUE(differential.differential);
+  EXPECT_EQ(differential.config.max_operations, 50);
+
+  const CliResult sweep =
+      Parse({"--fuzz", "42", "--fuzz-cases", "9", "--fuzz-ops", "77", "--fuzz-budget", "12.5"});
+  ASSERT_FALSE(sweep.error.has_value());
+  ASSERT_TRUE(sweep.fuzz.has_value());
+  EXPECT_EQ(sweep.fuzz->seed, 42u);
+  EXPECT_EQ(sweep.fuzz->cases, 9);
+  EXPECT_EQ(sweep.fuzz->case_index, -1);
+  EXPECT_EQ(sweep.fuzz->ops_per_phase, 77);
+  EXPECT_DOUBLE_EQ(sweep.fuzz->budget_seconds, 12.5);
+
+  const CliResult repro = Parse({"--fuzz", "42", "--fuzz-case", "3", "--fuzz-phases", "p0,p2",
+                                 "--fuzz-threads", "2", "--fuzz-ops", "77"});
+  ASSERT_FALSE(repro.error.has_value());
+  ASSERT_TRUE(repro.fuzz.has_value());
+  EXPECT_EQ(repro.fuzz->case_index, 3);
+  EXPECT_EQ(repro.fuzz->phases, (std::vector<std::string>{"p0", "p2"}));
+  EXPECT_EQ(repro.fuzz->threads_override, 2);
+}
+
+TEST(CliTest, RejectsBadFuzzArguments) {
+  EXPECT_TRUE(Parse({"--fuzz"}).error.has_value());
+  EXPECT_TRUE(Parse({"--fuzz", "abc"}).error.has_value());
+  EXPECT_TRUE(Parse({"--fuzz", "1", "--fuzz-cases", "0"}).error.has_value());
+  EXPECT_TRUE(Parse({"--fuzz", "1", "--fuzz-case", "-1"}).error.has_value());
+  EXPECT_TRUE(Parse({"--fuzz", "1", "--fuzz-budget", "0"}).error.has_value());
+  // The companion flags demand the mode flag itself.
+  const CliResult orphan = Parse({"--fuzz-cases", "5"});
+  ASSERT_TRUE(orphan.error.has_value());
+  EXPECT_NE(orphan.error->find("--fuzz <seed>"), std::string::npos);
+  // Flags the selected mode would silently ignore are rejected: phase and
+  // thread overrides belong to a reproduced case, sweep bounds to a sweep,
+  // and --differential always compares all backends.
+  EXPECT_TRUE(Parse({"--fuzz", "1", "--fuzz-phases", "p0"}).error.has_value());
+  EXPECT_TRUE(Parse({"--fuzz", "1", "--fuzz-threads", "2"}).error.has_value());
+  EXPECT_TRUE(Parse({"--fuzz", "1", "--fuzz-case", "0", "--fuzz-cases", "9"}).error.has_value());
+  EXPECT_TRUE(Parse({"--fuzz", "1", "--fuzz-case", "0", "--fuzz-budget", "5"}).error.has_value());
+  EXPECT_TRUE(Parse({"--differential", "-g", "mvstm"}).error.has_value());
+}
+
+TEST(CliTest, SeedsRoundTripTheFullUint64Range) {
+  // Reproduce commands print seeds back as unsigned; both spellings of the
+  // same seed must parse to the same value.
+  const CliResult negative = Parse({"--fuzz", "-1"});
+  ASSERT_FALSE(negative.error.has_value());
+  const CliResult unsigned_max = Parse({"--fuzz", "18446744073709551615"});
+  ASSERT_FALSE(unsigned_max.error.has_value());
+  EXPECT_EQ(negative.fuzz->seed, unsigned_max.fuzz->seed);
+
+  const CliResult seed = Parse({"--seed", "18446744073709551615"});
+  ASSERT_FALSE(seed.error.has_value());
+  EXPECT_EQ(seed.config.seed, ~uint64_t{0});
+  EXPECT_TRUE(Parse({"--seed", "99999999999999999999999"}).error.has_value());
+}
+
 TEST(CliTest, HelpShortCircuits) {
   EXPECT_TRUE(Parse({"--help"}).show_help);
   EXPECT_FALSE(Parse({"--help"}).error.has_value());
