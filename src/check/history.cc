@@ -41,6 +41,10 @@ History HistoryRecorder::TakeHistory() {
   history.truncated = truncated_;
   committed_.clear();
   bootstrap_.clear();
+  // Reset the truncation flag with the data it describes: a later recording
+  // session on the same recorder must not inherit a stale "truncated"
+  // verdict (which would make callers skip a perfectly checkable history).
+  truncated_ = false;
   return history;
 }
 

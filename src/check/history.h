@@ -32,8 +32,11 @@
 // their first observed read, exactly once — two transactions that disagree
 // on a never-written location's value can therefore never both pass.
 //
-// Finding an order is a certificate of serializability; exhausting the
-// search (or the step budget) reports the history as non-opaque.
+// Finding an order is a certificate of serializability. Exhausting the
+// search space proves non-opacity; exhausting the *step budget* proves
+// nothing and is reported as a distinct inconclusive outcome
+// (OpacityResult::inconclusive) — still a failed gate, but labelled so
+// nobody hunts a nonexistent STM bug.
 
 #ifndef STMBENCH7_SRC_CHECK_HISTORY_H_
 #define STMBENCH7_SRC_CHECK_HISTORY_H_

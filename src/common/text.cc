@@ -125,4 +125,21 @@ bool ParseDouble(const std::string& text, double& out) {
   return true;
 }
 
+std::vector<std::string> SplitCommaList(std::string_view text) {
+  std::vector<std::string> items;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t comma = text.find(',', begin);
+    const size_t end = comma == std::string_view::npos ? text.size() : comma;
+    if (end > begin) {
+      items.emplace_back(text.substr(begin, end - begin));
+    }
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    begin = comma + 1;
+  }
+  return items;
+}
+
 }  // namespace sb7

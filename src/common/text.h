@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 namespace sb7 {
 
@@ -37,6 +38,11 @@ std::string BuildDocumentText(int64_t part_id, int size);
 
 // Manual body for module `module_id`, at least `size` characters.
 std::string BuildManualText(int64_t module_id, int size);
+
+// Splits comma-separated `text` into its non-empty items (empty items are
+// skipped, so "a,,b" and ",a,b," both yield {a, b}). The one comma-list
+// parser shared by the CLIs and the sweep/scenario spec formats.
+std::vector<std::string> SplitCommaList(std::string_view text);
 
 // Strict whole-string number parsing, shared by the CLI and the scenario
 // spec parser: false on empty input, any trailing garbage, or overflow.

@@ -10,7 +10,7 @@
 // the object-granular STM a writer both pays the full-copy cost and
 // serializes with every other index writer; under the word STMs all updates
 // conflict on the one pointer word. The skip-list index is the refactored
-// alternative (see bench/ablation_index).
+// alternative (see the `ablation-index` sweep, `sb7-bench --sweep ablation-index`).
 
 #ifndef STMBENCH7_SRC_CONTAINERS_SNAPSHOT_INDEX_H_
 #define STMBENCH7_SRC_CONTAINERS_SNAPSHOT_INDEX_H_

@@ -202,18 +202,8 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
       if (!next(value) || value.empty()) {
         return fail("--fuzz-phases requires a comma-separated phase list");
       }
-      std::string name;
-      for (size_t begin = 0; begin <= value.size();) {
-        const size_t comma = value.find(',', begin);
-        name = value.substr(begin, comma == std::string::npos ? std::string::npos
-                                                              : comma - begin);
-        if (!name.empty()) {
-          fuzz_cli().phases.push_back(name);
-        }
-        if (comma == std::string::npos) {
-          break;
-        }
-        begin = comma + 1;
+      for (std::string& name : SplitCommaList(value)) {
+        fuzz_cli().phases.push_back(std::move(name));
       }
       if (fuzz_cli().phases.empty()) {
         return fail("--fuzz-phases requires at least one phase name");

@@ -1,0 +1,88 @@
+/// \file
+/// Baseline comparison: load a `BENCH_*.json` artifact back and flag
+/// per-cell regressions beyond a noise threshold.
+///
+/// Cells are matched across runs by their canonical CellKey. Throughput
+/// metrics regress downward (current < baseline × (1 − threshold)); latency
+/// probes regress upward (current > baseline × (1 + threshold)). Cells
+/// present on only one side are reported as notes, not regressions — a
+/// sweep spec change should be visible but must not fail the gate by
+/// itself. `sb7-bench` exits non-zero iff at least one regression is
+/// flagged, which is what lets CI pin the perf trajectory.
+
+#ifndef STMBENCH7_SRC_PERF_COMPARE_H_
+#define STMBENCH7_SRC_PERF_COMPARE_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/perf/runner.h"
+
+namespace sb7::perf {
+
+/// The comparable slice of one cell: the headline throughput and each
+/// probe's median max-latency.
+struct BaselineCell {
+  double throughput_median = 0.0;
+  std::map<std::string, double> probe_max_ms;  ///< op name -> median max ms
+};
+
+/// The comparable slice of one sweep artifact (either loaded from a
+/// BENCH_*.json file or distilled from a fresh SweepResult).
+struct Baseline {
+  std::string sweep;
+  std::string metric;  ///< "throughput" | "latency"
+  double threshold = 0.15;
+  std::map<std::string, BaselineCell> cells;  ///< CellKey -> stats
+};
+
+struct BaselineLoadResult {
+  Baseline baseline;
+  std::string error;  ///< set on parse/schema errors
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses a BENCH_*.json document (schema 1) into its comparable slice.
+BaselineLoadResult LoadBaseline(const std::string& json_text);
+/// Reads and parses a BENCH_*.json file.
+BaselineLoadResult LoadBaselineFile(const std::string& path);
+/// Distills a fresh in-memory sweep result.
+Baseline BaselineFromResult(const SweepResult& result);
+
+/// One compared quantity. For latency sweeps each probe is its own row with
+/// `key` suffixed by " probe=<op>".
+struct CompareRow {
+  std::string key;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Relative change, signed so that negative is always "worse":
+  /// (current−baseline)/baseline for throughput, the negation for latency.
+  double delta_fraction = 0.0;
+  bool regressed = false;
+};
+
+struct CompareReport {
+  double threshold = 0.15;
+  std::vector<CompareRow> rows;
+  std::vector<std::string> notes;  ///< missing / new cells, skipped probes
+  int regressions = 0;
+
+  bool ok() const { return regressions == 0; }
+};
+
+/// Compares `current` against `baseline` with the given relative noise
+/// threshold (<= 0 picks the baseline's recorded threshold). The sweeps'
+/// metric fields must agree; a metric mismatch flags every row as a note.
+CompareReport CompareSweeps(const Baseline& baseline, const Baseline& current,
+                            double threshold);
+
+/// Human-readable comparison: one line per row, regressions marked, notes
+/// appended, and a PASS/REGRESSION verdict line last.
+void PrintCompareReport(std::ostream& out, const CompareReport& report);
+
+}  // namespace sb7::perf
+
+#endif  // STMBENCH7_SRC_PERF_COMPARE_H_

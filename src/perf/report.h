@@ -1,0 +1,48 @@
+/// \file
+/// Sweep result serialization: the versioned `BENCH_<sweep>.json` artifact
+/// (schema pinned by tests/perf_test.cc, following the CSV `schema=2`
+/// discipline of the harness reports) and the human-readable comparison
+/// table printed after every run.
+///
+/// BENCH schema 1, top-level keys:
+///   schema   integer, currently 1
+///   tool     "sb7-bench"
+///   sweep    the sweep name
+///   metric   "throughput" | "latency"
+///   config   {seconds, warmup, reps, seed, threshold}
+///   axes     {backends, threads, workloads, scenarios, scales, indexes,
+///             cms, mixes} — each the axis value list, in execution order
+///   cells    one object per cell:
+///            {key, backend, threads, workload, scenario, scale, index, cm,
+///             mix, reps, elapsed_median_s, throughput_median,
+///             throughput_min, throughput_max, started_median}
+///            plus "probes" (array of {op, max_ms_median, max_ms_min,
+///            max_ms_max}) when probes are configured and "stm" (the
+///            median repetition's counter deltas) for STM backends.
+/// Changing any of this is a schema bump and must update the golden test.
+
+#ifndef STMBENCH7_SRC_PERF_REPORT_H_
+#define STMBENCH7_SRC_PERF_REPORT_H_
+
+#include <iosfwd>
+
+#include "src/perf/runner.h"
+
+namespace sb7::perf {
+
+/// The BENCH_*.json schema version this build writes and reads.
+constexpr int kBenchSchemaVersion = 1;
+
+/// Writes the machine-readable sweep artifact described above.
+void WriteSweepJson(std::ostream& out, const SweepResult& result);
+
+/// Prints the human-readable comparison table: one pivot block per
+/// combination of the row axes, with the column axis (backends when the
+/// sweep has several; otherwise contention managers, then mixes) side by
+/// side and thread counts down the rows. Latency sweeps print one table per
+/// probe operation.
+void PrintSweepTable(std::ostream& out, const SweepResult& result);
+
+}  // namespace sb7::perf
+
+#endif  // STMBENCH7_SRC_PERF_REPORT_H_

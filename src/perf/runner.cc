@@ -1,0 +1,293 @@
+#include "src/perf/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "src/core/invariants.h"
+#include "src/harness/driver.h"
+#include "src/perf/stats.h"
+
+namespace sb7::perf {
+namespace {
+
+// Per-repetition measurements, taken over the body (non-warmup) phases.
+struct RepSample {
+  double elapsed_seconds = 0.0;
+  int64_t success = 0;
+  int64_t started = 0;
+  std::vector<double> probe_max_ms;  // parallel to spec.probes; -1 = never completed
+  bool has_stm = false;
+  StmStats::View stm = {};
+
+  double Throughput() const {
+    return elapsed_seconds > 0 ? static_cast<double>(success) / elapsed_seconds : 0.0;
+  }
+  double StartedRate() const {
+    return elapsed_seconds > 0 ? static_cast<double>(started) / elapsed_seconds : 0.0;
+  }
+};
+
+StmStats::View AddViews(const StmStats::View& a, const StmStats::View& b) {
+  StmStats::View s;
+  s.starts = a.starts + b.starts;
+  s.commits = a.commits + b.commits;
+  s.aborts = a.aborts + b.aborts;
+  s.reads = a.reads + b.reads;
+  s.writes = a.writes + b.writes;
+  s.validation_steps = a.validation_steps + b.validation_steps;
+  s.bytes_cloned = a.bytes_cloned + b.bytes_cloned;
+  s.kills = a.kills + b.kills;
+  s.ro_starts = a.ro_starts + b.ro_starts;
+  s.ro_commits = a.ro_commits + b.ro_commits;
+  s.ro_aborts = a.ro_aborts + b.ro_aborts;
+  return s;
+}
+
+// Builds the cell's scenario: [warmup phase] + measure body. The body is one
+// closed-loop phase for plain cells, or the built-in scenario's phases.
+// Duration weights are set to absolute seconds (warmup seconds for the
+// warmup phase; each body phase's share of seconds-per-phase × body count),
+// so the total run length is simply the weight sum.
+Scenario BuildCellScenario(const SweepSpec& spec, const SweepCell& cell,
+                           double& total_seconds) {
+  Scenario scenario;
+  std::vector<PhaseSpec> body;
+  if (cell.scenario.empty()) {
+    PhaseSpec measure;
+    measure.name = "measure";
+    body.push_back(measure);
+    scenario.name = "cell";
+  } else {
+    const std::optional<Scenario> builtin = FindBuiltinScenario(cell.scenario);
+    body = builtin->phases;
+    scenario.name = cell.scenario;
+  }
+
+  const double body_seconds = spec.seconds * static_cast<double>(body.size());
+  double body_weight = 0.0;
+  for (const PhaseSpec& phase : body) {
+    body_weight += phase.duration_weight;
+  }
+  for (PhaseSpec& phase : body) {
+    phase.duration_weight = phase.duration_weight / body_weight * body_seconds;
+  }
+
+  if (spec.warmup > 0) {
+    PhaseSpec warmup;
+    warmup.name = "warmup";
+    warmup.duration_weight = spec.warmup;
+    scenario.phases.push_back(warmup);
+  }
+  scenario.phases.insert(scenario.phases.end(), body.begin(), body.end());
+  // The op cap is per phase (the scenario engine flips a capped phase when
+  // it fills): a run-level budget would be spent inside the warmup phase and
+  // leave the measure phases empty.
+  if (spec.max_ops > 0) {
+    for (PhaseSpec& phase : scenario.phases) {
+      phase.max_ops = spec.max_ops;
+    }
+  }
+  total_seconds = spec.warmup + body_seconds;
+  return scenario;
+}
+
+BenchConfig BuildCellConfig(const SweepSpec& spec, const SweepCell& cell, int rep) {
+  BenchConfig config;
+  config.strategy = cell.backend;
+  if (cell.cm != "default") {
+    config.contention_manager = cell.cm;
+  }
+  config.scale = cell.scale;
+  if (cell.index != "default") {
+    config.index_kind = IndexKindForName(cell.index);
+  }
+  config.workload = WorkloadTypeForName(cell.workload);
+  config.threads = cell.threads;
+
+  const std::optional<MixPreset> mix = FindMixPreset(cell.mix);
+  config.long_traversals = mix->long_traversals;
+  config.disabled_ops = mix->disabled_ops;
+
+  double total_seconds = 0.0;
+  config.scenario = BuildCellScenario(spec, cell, total_seconds);
+  config.length_seconds = total_seconds;
+  // Each repetition reseeds structure build and operation streams together,
+  // so rep r is reproducible in isolation via --seed (spec.seed + r).
+  config.seed = spec.seed + static_cast<uint64_t>(rep);
+  return config;
+}
+
+// Aggregates one finished repetition over its body phases. The warmup phase
+// (when present) is phases[0] and is excluded.
+RepSample CollectRep(const SweepSpec& spec, const BenchmarkRunner& runner,
+                     const BenchResult& result) {
+  RepSample sample;
+  const size_t body_begin = spec.warmup > 0 ? 1 : 0;
+  std::vector<int> probe_indices;
+  for (const std::string& probe : spec.probes) {
+    int index = -1;
+    const auto& ops = runner.registry().all();
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i]->name() == probe) {
+        index = static_cast<int>(i);
+        break;
+      }
+    }
+    probe_indices.push_back(index);
+  }
+  sample.probe_max_ms.assign(spec.probes.size(), -1.0);
+
+  for (size_t p = body_begin; p < result.phases.size(); ++p) {
+    const PhaseResult& phase = result.phases[p];
+    sample.elapsed_seconds += phase.elapsed_seconds;
+    sample.success += phase.total_success;
+    sample.started += phase.total_started;
+    sample.stm = AddViews(sample.stm, phase.stm);
+    for (size_t q = 0; q < probe_indices.size(); ++q) {
+      const int op = probe_indices[q];
+      if (op < 0 || phase.per_op[op].success == 0) {
+        continue;
+      }
+      const double max_ms =
+          static_cast<double>(phase.per_op[op].histogram.max_nanos()) / 1e6;
+      sample.probe_max_ms[q] = std::max(sample.probe_max_ms[q], max_ms);
+    }
+  }
+  sample.has_stm = runner.strategy().stm() != nullptr;
+  return sample;
+}
+
+// Median/min/max over the repetitions where the probe completed at least
+// once; all three stay -1 when it never did.
+ProbeStats ProbeStatsOf(const std::string& op, const std::vector<RepSample>& samples,
+                        size_t probe_index) {
+  ProbeStats stats;
+  stats.op = op;
+  std::vector<double> values;
+  for (const RepSample& sample : samples) {
+    if (sample.probe_max_ms[probe_index] >= 0) {
+      values.push_back(sample.probe_max_ms[probe_index]);
+    }
+  }
+  if (!values.empty()) {
+    stats.max_ms_median = Median(values);
+    stats.max_ms_min = MinOf(values);
+    stats.max_ms_max = MaxOf(values);
+  }
+  return stats;
+}
+
+}  // namespace
+
+std::string CellKey(const SweepCell& cell) {
+  std::ostringstream out;
+  out << "backend=" << cell.backend << " threads=" << cell.threads
+      << " workload=" << cell.workload << " scenario="
+      << (cell.scenario.empty() ? "-" : cell.scenario) << " scale=" << cell.scale
+      << " index=" << cell.index << " cm=" << cell.cm << " mix=" << cell.mix;
+  return out.str();
+}
+
+std::vector<SweepCell> ExpandCells(const SweepSpec& spec) {
+  // Axis nesting, outermost first: mix, scale, scenario/workload, index, cm,
+  // backend, threads — so the human table reads as "one block per
+  // configuration, backends side by side, thread counts down the rows".
+  std::vector<SweepCell> cells;
+  std::vector<std::string> scenarios = spec.scenarios;
+  if (scenarios.empty()) {
+    scenarios = {""};
+  }
+  for (const std::string& mix : spec.mixes) {
+    for (const std::string& scale : spec.scales) {
+      for (const std::string& scenario : scenarios) {
+        for (const std::string& workload : spec.workloads) {
+          for (const std::string& index : spec.indexes) {
+            for (const std::string& cm : spec.cms) {
+              for (const int threads : spec.threads) {
+                for (const std::string& backend : spec.backends) {
+                  SweepCell cell;
+                  cell.backend = backend;
+                  cell.threads = threads;
+                  cell.workload = workload;
+                  cell.scenario = scenario;
+                  cell.scale = scale;
+                  cell.index = index;
+                  cell.cm = cm;
+                  cell.mix = mix;
+                  cells.push_back(cell);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+SweepRunOutcome RunSweep(const SweepSpec& spec, const SweepRunOptions& options) {
+  SweepRunOutcome outcome;
+  outcome.result.spec = spec;
+  const std::vector<SweepCell> cells = ExpandCells(spec);
+
+  for (size_t c = 0; c < cells.size(); ++c) {
+    const SweepCell& cell = cells[c];
+    std::vector<RepSample> samples;
+    for (int rep = 0; rep < spec.reps; ++rep) {
+      const BenchConfig config = BuildCellConfig(spec, cell, rep);
+      BenchmarkRunner runner(config);
+      const BenchResult result = runner.Run();
+      samples.push_back(CollectRep(spec, runner, result));
+
+      // Validate the structure after the last repetition of the cell.
+      if (rep == spec.reps - 1) {
+        const InvariantReport report = CheckInvariants(runner.data());
+        if (!report.ok()) {
+          outcome.error = "invariant violation in cell [" + CellKey(cell) +
+                          "]: " + report.violations[0];
+          return outcome;
+        }
+      }
+    }
+
+    CellResult cell_result;
+    cell_result.cell = cell;
+    cell_result.reps = spec.reps;
+    std::vector<double> throughputs;
+    std::vector<double> elapsed;
+    std::vector<double> started;
+    for (const RepSample& sample : samples) {
+      throughputs.push_back(sample.Throughput());
+      elapsed.push_back(sample.elapsed_seconds);
+      started.push_back(sample.StartedRate());
+    }
+    cell_result.throughput_median = Median(throughputs);
+    cell_result.throughput_min = MinOf(throughputs);
+    cell_result.throughput_max = MaxOf(throughputs);
+    cell_result.elapsed_median_s = Median(elapsed);
+    cell_result.started_median = Median(started);
+    for (size_t q = 0; q < spec.probes.size(); ++q) {
+      cell_result.probes.push_back(ProbeStatsOf(spec.probes[q], samples, q));
+    }
+    const RepSample& median_rep = samples[MedianIndex(throughputs)];
+    cell_result.has_stm = median_rep.has_stm;
+    cell_result.stm = median_rep.stm;
+    outcome.result.cells.push_back(cell_result);
+
+    if (options.log != nullptr) {
+      *options.log << "[" << (c + 1) << "/" << cells.size() << "] " << CellKey(cell) << "  "
+                   << static_cast<int64_t>(cell_result.throughput_median) << " op/s";
+      if (spec.reps > 1) {
+        *options.log << " (min " << static_cast<int64_t>(cell_result.throughput_min)
+                     << ", max " << static_cast<int64_t>(cell_result.throughput_max) << ")";
+      }
+      *options.log << "\n";
+    }
+  }
+  return outcome;
+}
+
+}  // namespace sb7::perf

@@ -1,0 +1,96 @@
+/// \file
+/// Sweep execution: expands a SweepSpec into cells, runs every cell through
+/// the phase-aware BenchmarkRunner, and aggregates per-cell statistics.
+///
+/// Each cell repetition is executed as a *scenario*: an optional warmup
+/// phase (excluded from all statistics) followed by the measure body — a
+/// single closed-loop phase for plain cells, or the cell's built-in
+/// scenario's phase list. Reusing the scenario engine this way gives the
+/// orchestrator warmup windows, phased cells and per-phase accounting
+/// without a second execution path. After the last repetition of every cell
+/// the structural invariant checker runs: a sweep over a broken backend must
+/// fail loudly, not publish garbage numbers.
+
+#ifndef STMBENCH7_SRC_PERF_RUNNER_H_
+#define STMBENCH7_SRC_PERF_RUNNER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/perf/sweep.h"
+#include "src/stm/stm.h"
+
+namespace sb7::perf {
+
+/// One resolved point of the sweep's cartesian product.
+struct SweepCell {
+  std::string backend;
+  int threads = 1;
+  std::string workload;  ///< "r" | "rw" | "w"
+  std::string scenario;  ///< built-in scenario name, or empty for plain cells
+  std::string scale;
+  std::string index;     ///< "default" or an index kind name
+  std::string cm;        ///< "default" or a contention manager name
+  std::string mix;       ///< mix preset name
+};
+
+/// Canonical identity of a cell, used to match cells across runs in
+/// `--compare`. Fixed key order; empty scenario prints as "-":
+///   backend=tl2 threads=4 workload=r scenario=- scale=small index=default
+///   cm=default mix=short
+std::string CellKey(const SweepCell& cell);
+
+/// Median/min/max of one latency probe across repetitions. A value of -1
+/// means the operation never completed in any repetition.
+struct ProbeStats {
+  std::string op;
+  double max_ms_median = -1.0;
+  double max_ms_min = -1.0;
+  double max_ms_max = -1.0;
+};
+
+/// Aggregated result of one cell: median-of-N throughput with min/max
+/// spread, probe latencies, and the STM counter deltas of the median
+/// repetition (summed over the measure phases; zeros for lock strategies).
+struct CellResult {
+  SweepCell cell;
+  int reps = 0;
+  double elapsed_median_s = 0.0;
+  double throughput_median = 0.0;
+  double throughput_min = 0.0;
+  double throughput_max = 0.0;
+  double started_median = 0.0;
+  std::vector<ProbeStats> probes;
+  bool has_stm = false;
+  StmStats::View stm = {};
+};
+
+struct SweepResult {
+  SweepSpec spec;
+  std::vector<CellResult> cells;
+};
+
+struct SweepRunOptions {
+  /// Progress log (one line per cell); null = silent.
+  std::ostream* log = nullptr;
+};
+
+struct SweepRunOutcome {
+  SweepResult result;
+  std::string error;  ///< set on invariant violations or spec errors
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Expands the spec's axes into the cell list, in execution order. Exposed
+/// separately so tests and `--compare` can enumerate expected cells without
+/// running anything.
+std::vector<SweepCell> ExpandCells(const SweepSpec& spec);
+
+/// Runs the whole sweep. The spec must already be validated (Validate()).
+SweepRunOutcome RunSweep(const SweepSpec& spec, const SweepRunOptions& options);
+
+}  // namespace sb7::perf
+
+#endif  // STMBENCH7_SRC_PERF_RUNNER_H_

@@ -1,0 +1,76 @@
+#include "src/perf/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/text.h"
+
+namespace sb7::perf {
+
+double Median(std::vector<double> samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  if (n % 2 == 1) {
+    return samples[n / 2];
+  }
+  return (samples[n / 2 - 1] + samples[n / 2]) / 2.0;
+}
+
+double MinOf(const std::vector<double>& samples) {
+  return samples.empty() ? 0.0 : *std::min_element(samples.begin(), samples.end());
+}
+
+double MaxOf(const std::vector<double>& samples) {
+  return samples.empty() ? 0.0 : *std::max_element(samples.begin(), samples.end());
+}
+
+size_t MedianIndex(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return 0;
+  }
+  const double median = Median(samples);
+  size_t best = 0;
+  double best_distance = -1.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double distance = std::abs(samples[i] - median);
+    if (best_distance < 0 || distance < best_distance) {
+      best_distance = distance;
+      best = i;
+    }
+  }
+  return best;
+}
+
+BenchEnv ReadBenchEnv() {
+  BenchEnv env;
+  if (const char* raw = std::getenv("SB7_BENCH_SECONDS")) {
+    double seconds = 0;
+    if (ParseDouble(raw, seconds) && seconds > 0) {
+      env.seconds = seconds;
+    }
+  }
+  if (const char* raw = std::getenv("SB7_BENCH_SCALE")) {
+    env.scale = raw;
+  }
+  if (const char* raw = std::getenv("SB7_BENCH_THREADS")) {
+    // Space- or comma-separated. All-or-nothing: one bad token discards the
+    // whole variable rather than silently running a truncated thread axis.
+    std::string text(raw);
+    std::replace(text.begin(), text.end(), ' ', ',');
+    for (const std::string& item : SplitCommaList(text)) {
+      int64_t value = 0;
+      if (!ParseInt64(item, value) || value < 1) {
+        env.threads.clear();
+        break;
+      }
+      env.threads.push_back(static_cast<int>(value));
+    }
+  }
+  return env;
+}
+
+}  // namespace sb7::perf

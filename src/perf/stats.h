@@ -1,0 +1,50 @@
+/// \file
+/// Small numeric helpers for the benchmark orchestrator: median-of-N and
+/// min/max spread over repetition samples, plus the environment defaults
+/// (`SB7_BENCH_*`) that the legacy `bench/bench_util.h` binaries honoured.
+/// Every sweep cell runs N repetitions; the report always carries the median
+/// together with the spread so a noisy host is visible in the artifact
+/// instead of silently polluting the trajectory.
+
+#ifndef STMBENCH7_SRC_PERF_STATS_H_
+#define STMBENCH7_SRC_PERF_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace sb7::perf {
+
+/// Median of `samples` (mean of the middle pair for even sizes).
+/// Returns 0 for an empty vector.
+double Median(std::vector<double> samples);
+
+/// Smallest sample, or 0 for an empty vector.
+double MinOf(const std::vector<double>& samples);
+
+/// Largest sample, or 0 for an empty vector.
+double MaxOf(const std::vector<double>& samples);
+
+/// Index of the sample closest to the median (ties break low). The sweep
+/// runner uses it to pick the "median repetition" whose STM counters are
+/// reported for the cell. Returns 0 for an empty vector.
+size_t MedianIndex(const std::vector<double>& samples);
+
+/// Environment defaults shared by `sb7-bench` runs, folded in from the
+/// deleted `bench/bench_util.h`:
+///   SB7_BENCH_SECONDS  per-cell measure window in seconds
+///   SB7_BENCH_SCALE    tiny | small | medium
+///   SB7_BENCH_THREADS  space- or comma-separated thread axis override
+/// Unset variables leave the corresponding field empty/zero; precedence is
+/// spec < environment < command-line flag.
+struct BenchEnv {
+  double seconds = 0.0;            ///< 0 = not set
+  std::string scale;               ///< empty = not set
+  std::vector<int> threads;        ///< empty = not set
+};
+
+/// Reads the `SB7_BENCH_*` environment knobs (invalid values are ignored).
+BenchEnv ReadBenchEnv();
+
+}  // namespace sb7::perf
+
+#endif  // STMBENCH7_SRC_PERF_STATS_H_

@@ -4,7 +4,7 @@
 // active transaction, the contention manager arbitrates: wait and retry,
 // abort the other transaction, or abort self. The paper's §5 evaluation uses
 // the Polka manager shipped with ASTM; the alternatives here feed the
-// contention-manager ablation bench (bench/ablation_cm).
+// contention-manager ablation sweep (`sb7-bench --sweep ablation-cm`).
 
 #ifndef STMBENCH7_SRC_STM_CONTENTION_H_
 #define STMBENCH7_SRC_STM_CONTENTION_H_

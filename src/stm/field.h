@@ -1,21 +1,24 @@
-// Transactional field and object model.
-//
-// This header defines the seam between the benchmark's data structure and the
-// concurrency-control strategies, playing the role AspectJ weaving plays in
-// the original Java benchmark:
-//
-//   * `TxField<T>` — a mutable shared field. Get/Set consult the thread-local
-//     current transaction. With no transaction installed (the coarse- and
-//     medium-grained locking strategies), accesses compile down to plain
-//     acquire/release atomics; with a transaction installed they are routed
-//     through the STM.
-//   * `TmUnit` — the per-object header: a registry of the object's fields
-//     plus the metadata the object-granular (ASTM-like) STM needs. Word-based
-//     STMs ignore it.
-//   * `Transaction` — the interface every STM implements.
-//
-// The core benchmark code therefore contains no concurrency control at all;
-// strategies are injected orthogonally, as §4 of the paper requires.
+/// \file
+/// Transactional field and object model.
+///
+/// This header defines the seam between the benchmark's data structure and
+/// the concurrency-control strategies, playing the role AspectJ weaving
+/// plays in the original Java benchmark:
+///
+///   * `TxField<T>` — a mutable shared field. Get/Set consult the
+///     thread-local current transaction. With no transaction installed (the
+///     coarse- and medium-grained locking strategies), accesses compile down
+///     to plain acquire/release atomics; with a transaction installed they
+///     are routed through the STM.
+///   * `TmUnit` — the per-object header: a registry of the object's fields
+///     plus the metadata the object-granular (ASTM-like) STM needs.
+///     Word-based STMs ignore it.
+///   * `Transaction` — the interface every STM implements.
+///   * `TxObserver` — the observation seam the correctness oracle records
+///     histories through.
+///
+/// The core benchmark code therefore contains no concurrency control at
+/// all; strategies are injected orthogonally, as §4 of the paper requires.
 
 #ifndef STMBENCH7_SRC_STM_FIELD_H_
 #define STMBENCH7_SRC_STM_FIELD_H_
@@ -37,29 +40,30 @@ namespace sb7 {
 class TxFieldBase;
 class AstmTx;
 
-// Thrown by STM read/write/commit paths to unwind an aborted transaction back
-// to the retry loop. Never escapes Stm::RunAtomically.
+/// Thrown by STM read/write/commit paths to unwind an aborted transaction
+/// back to the retry loop. Never escapes Stm::RunAtomically.
 struct TxAborted {};
 
-// Per-object transactional header. Fields register themselves here at
-// construction time; construction is always thread-private (objects become
-// shared only when a committed transaction links them into the structure), so
-// registration needs no synchronization.
+/// Per-object transactional header. Fields register themselves here at
+/// construction time; construction is always thread-private (objects become
+/// shared only when a committed transaction links them into the structure),
+/// so registration needs no synchronization.
 class TmUnit {
  public:
   TmUnit() = default;
   TmUnit(const TmUnit&) = delete;
   TmUnit& operator=(const TmUnit&) = delete;
 
-  // Returns the field's index within this unit (its slot in ASTM images).
+  /// Returns the field's index within this unit (its slot in ASTM images).
   size_t RegisterField(TxFieldBase* field) {
     fields_.push_back(field);
     return fields_.size() - 1;
   }
   const std::vector<TxFieldBase*>& fields() const { return fields_; }
 
-  // Large out-of-line payload (document text, index snapshot). The ASTM-like
-  // STM clones it on write-open, reproducing object-granularity logging cost.
+  /// Large out-of-line payload (document text, index snapshot). The
+  /// ASTM-like STM clones it on write-open, reproducing object-granularity
+  /// logging cost.
   using PayloadSource = std::function<std::string_view()>;
   void set_payload_source(PayloadSource source) { payload_source_ = std::move(source); }
   const PayloadSource& payload_source() const { return payload_source_; }
@@ -95,7 +99,7 @@ class TmUnit {
   bool topology_ = false;
 };
 
-// Base class for shared benchmark objects: owns the TmUnit.
+/// Base class for shared benchmark objects: owns the TmUnit.
 class TmObject {
  public:
   TmObject() = default;
@@ -110,19 +114,20 @@ class TmObject {
   TmUnit unit_;
 };
 
-// STM interface. One instance per in-flight transaction.
+/// STM interface. One instance per in-flight transaction.
 class Transaction {
  public:
   virtual ~Transaction() = default;
 
-  // Transactional load/store of one 64-bit word.
+  /// Transactional load of one 64-bit word.
   virtual uint64_t Read(const TxFieldBase& field) = 0;
+  /// Transactional store of one 64-bit word.
   virtual void Write(TxFieldBase& field, uint64_t value) = 0;
 
-  // Deferred actions. Commit hooks run exactly once, after the commit point
-  // (used to retire replaced payloads and unlinked nodes through EBR); abort
-  // hooks run on every abort (used to free allocations that never became
-  // shared). Hooks must not touch transactional state.
+  /// Deferred actions. Commit hooks run exactly once, after the commit
+  /// point (used to retire replaced payloads and unlinked nodes through
+  /// EBR); abort hooks run on every abort (used to free allocations that
+  /// never became shared). Hooks must not touch transactional state.
   void OnCommit(std::function<void()> hook) { commit_hooks_.push_back(std::move(hook)); }
   void OnAbort(std::function<void()> hook) { abort_hooks_.push_back(std::move(hook)); }
 
@@ -152,37 +157,43 @@ inline thread_local Transaction* tls_current_tx = nullptr;
 inline Transaction* CurrentTx() { return tls_current_tx; }
 inline void SetCurrentTx(Transaction* tx) { tls_current_tx = tx; }
 
-// Observation seam for the correctness oracle (src/check/history.*).
-//
-// When an observer is installed, every transactional field access and every
-// attempt boundary (begin / commit / abort, driven by Stm::RunAtomically) is
-// reported to it. The hook is a single relaxed load of a global pointer on
-// the hot path — null in normal runs, so benchmark numbers are unaffected
-// unless recording was explicitly requested. Install/uninstall only while no
-// transactions are in flight; the observer itself must be thread-safe (it is
-// called concurrently from every worker).
+/// Observation seam for the correctness oracle (src/check/history.*).
+///
+/// When an observer is installed, every transactional field access and
+/// every attempt boundary (begin / commit / abort, driven by
+/// Stm::RunAtomically) is reported to it. The hook is a single relaxed load
+/// of a global pointer on the hot path — null in normal runs, so benchmark
+/// numbers are unaffected unless recording was explicitly requested.
+/// Install/uninstall only while no transactions are in flight; the observer
+/// itself must be thread-safe (it is called concurrently from every
+/// worker).
 class TxObserver {
  public:
   virtual ~TxObserver() = default;
 
-  // A new attempt started on the calling thread (read_only = retry-loop hint).
+  /// A new attempt started on the calling thread (read_only = retry-loop
+  /// hint).
   virtual void OnTxBegin(bool read_only) = 0;
-  // `value`/`word` are the raw 64-bit encodings the STM returned/consumed.
+  /// A transactional read; `word` is the raw 64-bit encoding the STM
+  /// returned.
   virtual void OnTxRead(const TxFieldBase& field, uint64_t word) = 0;
+  /// A transactional write; `word` is the raw 64-bit encoding consumed.
   virtual void OnTxWrite(const TxFieldBase& field, uint64_t word) = 0;
-  // The attempt committed; called after the commit point, on the committing
-  // thread, before control returns to the operation.
+  /// The attempt committed; called after the commit point, on the
+  /// committing thread, before control returns to the operation.
   virtual void OnTxCommit() = 0;
+  /// The attempt aborted.
   virtual void OnTxAbort() = 0;
-  // A field was constructed (word = its initial value). Needed because field
-  // addresses are recycled: a node freed through EBR and a node later
-  // allocated at the same address are different logical locations, and the
-  // birth event is what re-grounds the address in a recorded history.
+  /// A field was constructed (word = its initial value). Needed because
+  /// field addresses are recycled: a node freed through EBR and a node
+  /// later allocated at the same address are different logical locations,
+  /// and the birth event is what re-grounds the address in a recorded
+  /// history.
   virtual void OnFieldBirth(const TxFieldBase& field, uint64_t word) = 0;
-  // A raw (non-transactional) store. Inside a transaction this is either
-  // pre-publication seeding of a private object or STM writeback of already
-  // recorded values; both are safely treated as writes of the enclosing
-  // transaction.
+  /// A raw (non-transactional) store. Inside a transaction this is either
+  /// pre-publication seeding of a private object or STM writeback of
+  /// already recorded values; both are safely treated as writes of the
+  /// enclosing transaction.
   virtual void OnRawStore(const TxFieldBase& field, uint64_t word) = 0;
 };
 
@@ -203,10 +214,10 @@ namespace internal {
 void FreeMvHistoryHead(void* head);
 }  // namespace internal
 
-// Untyped shared word. The word doubles as the in-place value for every STM
-// flavour; per-location versioning lives in the global striped lock table
-// (word STMs), in the owning TmUnit (object STM), or in the per-field version
-// chain (multi-version STM).
+/// Untyped shared word. The word doubles as the in-place value for every
+/// STM flavour; per-location versioning lives in the global striped lock
+/// table (word STMs), in the owning TmUnit (object STM), or in the
+/// per-field version chain (multi-version STM).
 class TxFieldBase {
  public:
   TxFieldBase(TmUnit& owner, uint64_t initial) : word_(initial), owner_(&owner) {
@@ -278,7 +289,9 @@ T DecodeWord(uint64_t word) {
 
 }  // namespace internal
 
-// Typed shared field.
+/// Typed shared field: Get/Set route through the thread-local current
+/// transaction when one is installed, and fall through to plain
+/// acquire/release atomics otherwise (the lock strategies).
 template <typename T>
 class TxField : public TxFieldBase {
  public:
@@ -308,13 +321,13 @@ class TxField : public TxFieldBase {
   }
 };
 
-// Mutable text payload (documents, the manual). The body is an immutable
-// heap string; updates allocate a replacement and swap the pointer, retiring
-// the old body through EBR once no thread can still be reading it. This gives
-// word-based STMs a single logical location for the whole text, while the
-// object-granular STM additionally pays the whole-body clone on write-open
-// via the owning unit's payload source — exactly the "large object" pathology
-// §5 analyses.
+/// Mutable text payload (documents, the manual). The body is an immutable
+/// heap string; updates allocate a replacement and swap the pointer,
+/// retiring the old body through EBR once no thread can still be reading
+/// it. This gives word-based STMs a single logical location for the whole
+/// text, while the object-granular STM additionally pays the whole-body
+/// clone on write-open via the owning unit's payload source — exactly the
+/// "large object" pathology §5 analyses.
 class TxText {
  public:
   TxText(TmUnit& owner, std::string initial)

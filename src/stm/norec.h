@@ -7,7 +7,7 @@
 // the global clock moves). Value-based validation makes NOrec immune to the
 // false conflicts of striped lock tables and very cheap for read-dominated
 // workloads, at the price of serializing writer commits — exactly the
-// trade-off the shootout bench (bench/ablation_stm) quantifies on the
+// trade-off the backend sweeps (`sb7-bench --sweep fig6`) quantify on the
 // STMBench7 mix.
 
 #ifndef STMBENCH7_SRC_STM_NOREC_H_

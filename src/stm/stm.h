@@ -1,13 +1,14 @@
-// STM runtime interface: statistics, the retry loop, and backoff.
-//
-// Every STM flavour (TL2, TinySTM, ASTM-like) provides a TxImplBase and is
-// driven by the shared Stm::RunAtomically retry loop. The loop implements the
-// benchmark's failure semantics (§3 of the paper): an exception other than
-// TxAborted thrown by the body is an *operation failure*, which is a committed
-// outcome — the loop attempts to commit the reads performed so far and, only
-// if that commit validates, lets the exception propagate. A failure observed
-// by a transaction that cannot commit was based on an inconsistent snapshot
-// and is retried instead.
+/// \file
+/// STM runtime interface: statistics, the retry loop, and backoff.
+///
+/// Every STM flavour (TL2, TinySTM, ASTM-like) provides a TxImplBase and is
+/// driven by the shared Stm::RunAtomically retry loop. The loop implements
+/// the benchmark's failure semantics (§3 of the paper): an exception other
+/// than TxAborted thrown by the body is an *operation failure*, which is a
+/// committed outcome — the loop attempts to commit the reads performed so
+/// far and, only if that commit validates, lets the exception propagate. A
+/// failure observed by a transaction that cannot commit was based on an
+/// inconsistent snapshot and is retried instead.
 
 #ifndef STMBENCH7_SRC_STM_STM_H_
 #define STMBENCH7_SRC_STM_STM_H_
@@ -22,10 +23,10 @@
 
 namespace sb7 {
 
-// Aggregate counters, written by transactions at commit/abort boundaries.
-// Each hot counter sits on its own cache line: worker threads bump different
-// counters concurrently, and false sharing here measurably perturbs the very
-// throughput numbers the harness exists to report.
+/// Aggregate counters, written by transactions at commit/abort boundaries.
+/// Each hot counter sits on its own cache line: worker threads bump
+/// different counters concurrently, and false sharing here measurably
+/// perturbs the very throughput numbers the harness exists to report.
 struct StmStats {
   alignas(64) std::atomic<int64_t> starts{0};
   alignas(64) std::atomic<int64_t> commits{0};
@@ -63,31 +64,35 @@ struct StmStats {
   }
 };
 
-// Per-attempt transaction implementation. The retry loop owns the life cycle:
-// BeginAttempt -> body -> (TryCommit | AbortSelf). After TryCommit() returns
-// false or AbortSelf() returns, all transaction-held resources (stripe locks,
-// object ownerships, undo state) have been released.
+/// Per-attempt transaction implementation. The retry loop owns the life
+/// cycle: BeginAttempt -> body -> (TryCommit | AbortSelf). After
+/// TryCommit() returns false or AbortSelf() returns, all transaction-held
+/// resources (stripe locks, object ownerships, undo state) have been
+/// released.
 class TxImplBase : public Transaction {
  public:
+  /// Starts a fresh attempt on the calling thread.
   virtual void BeginAttempt() = 0;
-  // Returns true iff the transaction committed; on false the attempt has been
-  // fully rolled back and abort hooks have run.
+  /// Returns true iff the transaction committed; on false the attempt has
+  /// been fully rolled back and abort hooks have run.
   virtual bool TryCommit() = 0;
-  // Rolls back the attempt (used when the body threw TxAborted).
+  /// Rolls back the attempt (used when the body threw TxAborted).
   virtual void AbortSelf() = 0;
-  // Hint installed by the retry loop before the first BeginAttempt: the body
-  // performs no writes. Backends may use it to serve all reads from a
-  // consistent snapshot (mvstm); the default ignores it.
+  /// Hint installed by the retry loop before the first BeginAttempt: the
+  /// body performs no writes. Backends may use it to serve all reads from a
+  /// consistent snapshot (mvstm); the default ignores it.
   virtual void SetReadOnly(bool read_only) { (void)read_only; }
 };
 
-// Exponential backoff with jitter. On this benchmark's single-core hosts the
-// key property is yielding the CPU so the conflicting transaction can finish.
+/// Exponential backoff with jitter. On this benchmark's single-core hosts
+/// the key property is yielding the CPU so the conflicting transaction can
+/// finish.
 class Backoff {
  public:
   static void Pause(int attempt);
 };
 
+/// One STM backend instance: owns the statistics block and the retry loop.
 class Stm {
  public:
   Stm();
@@ -95,21 +100,23 @@ class Stm {
   Stm(const Stm&) = delete;
   Stm& operator=(const Stm&) = delete;
 
+  /// Backend name as selected by the CLI (`tl2`, `mvstm`, ...).
   virtual std::string_view name() const = 0;
 
-  // Executes `body` atomically, retrying on conflicts. Exceptions other than
-  // TxAborted propagate once the enclosing transaction commits (see above).
-  // `read_only` is a caller promise that the body performs no transactional
-  // writes (the driver derives it from Operation::read_only()); backends that
-  // support snapshot reads execute such bodies without validation or aborts.
+  /// Executes `body` atomically, retrying on conflicts. Exceptions other
+  /// than TxAborted propagate once the enclosing transaction commits (see
+  /// the file comment). `read_only` is a caller promise that the body
+  /// performs no transactional writes (the driver derives it from
+  /// Operation::read_only()); backends that support snapshot reads execute
+  /// such bodies without validation or aborts.
   void RunAtomically(const std::function<void(Transaction&)>& body, bool read_only = false);
 
   StmStats& stats() { return stats_; }
   const StmStats& stats() const { return stats_; }
 
  protected:
-  // One implementation object is cached per (thread, Stm instance) and reused
-  // across attempts and operations.
+  /// One implementation object is cached per (thread, Stm instance) and
+  /// reused across attempts and operations.
   virtual std::unique_ptr<TxImplBase> CreateTx() = 0;
 
  private:
