@@ -21,15 +21,13 @@ HistoryRecorder::~HistoryRecorder() {
 
 void HistoryRecorder::Install() {
   SB7_CHECK(!installed_);
-  TxObserver* previous = InstallTxObserver(this);
-  SB7_CHECK(previous == nullptr);
+  SB7_CHECK(InstallTxObserver(this));
   installed_ = true;
 }
 
 void HistoryRecorder::Uninstall() {
   SB7_CHECK(installed_);
-  TxObserver* previous = InstallTxObserver(nullptr);
-  SB7_CHECK(previous == this);
+  SB7_CHECK(RemoveTxObserver(this));
   installed_ = false;
 }
 
@@ -90,7 +88,7 @@ void HistoryRecorder::OnTxCommit() {
   committed_.push_back(std::move(tx));
 }
 
-void HistoryRecorder::OnTxAbort() {
+void HistoryRecorder::OnTxAbort(const TxAbortInfo& /*info*/) {
   ThreadBuffer& buffer = LocalBuffer();
   if (buffer.owner == this) {
     buffer.owner = nullptr;

@@ -98,7 +98,7 @@ class HistoryRecorder : public TxObserver {
   void OnTxRead(const TxFieldBase& field, uint64_t word) override;
   void OnTxWrite(const TxFieldBase& field, uint64_t word) override;
   void OnTxCommit() override;
-  void OnTxAbort() override;
+  void OnTxAbort(const TxAbortInfo& info) override;
   // Births and raw stores inside an open attempt become writes of that
   // transaction (they are pre-publication seeding of private objects, or STM
   // writeback of values the attempt already logged). Outside any attempt

@@ -28,6 +28,12 @@ std::string UsageText() {
                          hotspot | ramp, or a key=value spec file (see README)
   --csv <file>           also write a machine-readable CSV report
   --json <file>          also write a machine-readable JSON report
+  --trace <file>         trace the run and write a Chrome trace-event JSON
+                         timeline (load in Perfetto / chrome://tracing)
+  --trace-sample <n>     record every nth transaction's timeline events
+                         (default 1 = all; attribution always sees every tx)
+  --trace-buffer <n>     per-thread trace ring capacity in events (default
+                         65536, rounded up to a power of two)
   --verify               check all structure invariants after the run
   --check-opacity        record committed read/write sets and verify the
                          history is opaque (STM strategies only)
@@ -56,6 +62,7 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
 
   bool fuzz_seed_given = false;
   bool fuzz_sweep_flag_given = false;  // --fuzz-cases / --fuzz-budget
+  bool trace_knob_given = false;       // --trace-sample / --trace-buffer
   // The --fuzz-* companion flags may appear in any order relative to --fuzz.
   auto fuzz_cli = [&result]() -> FuzzCli& {
     if (!result.fuzz.has_value()) {
@@ -170,6 +177,26 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
         return fail("--json requires a file path");
       }
       config.json_path = value;
+    } else if (arg == "--trace") {
+      if (!next(value) || value.empty()) {
+        return fail("--trace requires a file path");
+      }
+      config.trace = true;
+      config.trace_path = value;
+    } else if (arg == "--trace-sample") {
+      int64_t period = 0;
+      if (!next(value) || !ParseInt64(value, period) || period < 1) {
+        return fail("--trace-sample requires a positive integer");
+      }
+      config.trace_sample = static_cast<uint32_t>(period);
+      trace_knob_given = true;
+    } else if (arg == "--trace-buffer") {
+      int64_t capacity = 0;
+      if (!next(value) || !ParseInt64(value, capacity) || capacity < 1) {
+        return fail("--trace-buffer requires a positive integer");
+      }
+      config.trace_buffer = static_cast<size_t>(capacity);
+      trace_knob_given = true;
     } else if (arg == "--verify") {
       config.verify_invariants = true;
     } else if (arg == "--check-opacity") {
@@ -251,6 +278,9 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
   }
   if (result.differential && result.strategy_given) {
     return fail("--differential always compares all backends; -g is not applicable");
+  }
+  if (trace_knob_given && !config.trace) {
+    return fail("--trace-sample/--trace-buffer only apply with --trace <file>");
   }
   return result;
 }

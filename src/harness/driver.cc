@@ -24,21 +24,9 @@ void SleepNanos(int64_t nanos) {
   std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
 }
 
-StmStats::View SubtractViews(const StmStats::View& a, const StmStats::View& b) {
-  StmStats::View d;
-  d.starts = a.starts - b.starts;
-  d.commits = a.commits - b.commits;
-  d.aborts = a.aborts - b.aborts;
-  d.reads = a.reads - b.reads;
-  d.writes = a.writes - b.writes;
-  d.validation_steps = a.validation_steps - b.validation_steps;
-  d.bytes_cloned = a.bytes_cloned - b.bytes_cloned;
-  d.kills = a.kills - b.kills;
-  d.ro_starts = a.ro_starts - b.ro_starts;
-  d.ro_commits = a.ro_commits - b.ro_commits;
-  d.ro_aborts = a.ro_aborts - b.ro_aborts;
-  return d;
-}
+// How many hottest locations / deadliest op pairs phase and run reports
+// keep from the conflict table.
+constexpr size_t kConflictTopK = 8;
 
 }  // namespace
 
@@ -47,6 +35,14 @@ BenchmarkRunner::BenchmarkRunner(const BenchConfig& config) : config_(config) {
   SB7_CHECK(config_.length_seconds > 0);
   strategy_ = MakeStrategy(config_.strategy, config_.contention_manager);
   SB7_CHECK(strategy_ != nullptr);
+
+  if (config_.trace || !config_.trace_path.empty()) {
+    config_.trace = true;
+    trace::TraceOptions options;
+    options.ring_capacity = config_.trace_buffer;
+    options.sample_period = config_.trace_sample > 0 ? config_.trace_sample : 1;
+    tracer_ = std::make_unique<trace::Tracer>(options);
+  }
 
   DataHolder::Setup setup;
   setup.params = Parameters::ForName(config_.scale);
@@ -125,6 +121,9 @@ void BenchmarkRunner::BeginPhaseLocked(int phase_index) {
   acc.start_nanos = now;
   acc.stm_begin = StmSnapshot();
   acc.hot_begin = ReadHotspotCounters();
+  if (tracer_ != nullptr) {
+    acc.conflict_begin = tracer_->ConflictSnapshot();
+  }
 }
 
 void BenchmarkRunner::FinishPhaseLocked(int phase_index) {
@@ -132,6 +131,9 @@ void BenchmarkRunner::FinishPhaseLocked(int phase_index) {
   acc.end_nanos = NowNanos();
   acc.stm_end = StmSnapshot();
   acc.hot_end = ReadHotspotCounters();
+  if (tracer_ != nullptr) {
+    acc.conflict_end = tracer_->ConflictSnapshot();
+  }
 }
 
 void BenchmarkRunner::TryAdvancePhase(int phase_index) {
@@ -277,12 +279,14 @@ void BenchmarkRunner::WorkerLoop(int worker_index, Rng rng,
         pm.backlog_peak = std::max(pm.backlog_peak, backlog);
       }
     }
+    SetTxOpContext(index);
     try {
       strategy_->Execute(*ops[index], *data_, rng);
       metrics[p][index].RecordSuccess(NowNanos() - begin);
     } catch (const OperationFailed&) {
       metrics[p][index].RecordFailure();
     }
+    SetTxOpContext(-1);
     phase.executed.fetch_add(1, std::memory_order_relaxed);
     EbrDomain::Global().Quiesce();
   }
@@ -298,6 +302,9 @@ BenchResult BenchmarkRunner::Run() {
       spawn_threads_, std::vector<PaceMetrics>(phase_count));
 
   Rng seeder(config_.seed ^ 0x9d867b3543aa5391ull);
+  if (tracer_ != nullptr) {
+    tracer_->Install();
+  }
   {
     std::lock_guard<std::mutex> lock(phase_mutex_);
     BeginPhaseLocked(0);
@@ -334,6 +341,9 @@ BenchResult BenchmarkRunner::Run() {
       current_phase_.store(static_cast<int>(phase_count), std::memory_order_relaxed);
     }
   }
+  if (tracer_ != nullptr) {
+    tracer_->Uninstall();
+  }
   ResetHotspotPolicy();
 
   BenchResult result;
@@ -366,9 +376,12 @@ BenchResult BenchmarkRunner::Run() {
     }
     pr.elapsed_seconds =
         acc.end_nanos > acc.start_nanos ? NanosToSeconds(acc.end_nanos - acc.start_nanos) : 0.0;
-    pr.stm = SubtractViews(acc.stm_end, acc.stm_begin);
+    pr.stm = StmStats::View::Subtract(acc.stm_end, acc.stm_begin);
     pr.hot_samples = acc.hot_end.samples - acc.hot_begin.samples;
     pr.hot_hits = acc.hot_end.hot_hits - acc.hot_begin.hot_hits;
+    if (tracer_ != nullptr) {
+      pr.conflicts = tracer_->SummarizeWindow(acc.conflict_end, acc.conflict_begin, kConflictTopK);
+    }
   }
   for (const OpMetrics& metrics : result.per_op) {
     result.total_success += metrics.success;
@@ -378,6 +391,13 @@ BenchResult BenchmarkRunner::Run() {
   result.elapsed_seconds = NanosToSeconds(end - start);
   if (Stm* stm = strategy_->stm()) {
     result.stm = stm->stats().Snapshot();
+  }
+  if (tracer_ != nullptr) {
+    result.traced = true;
+    result.conflicts = tracer_->SummarizeWindow(tracer_->ConflictSnapshot(),
+                                                trace::ConflictTable::Snapshot{}, kConflictTopK);
+    result.latency_by_op = tracer_->LatencyByOp();
+    result.trace_events_dropped = tracer_->TotalDropped();
   }
   EbrDomain::Global().Quiesce();
   EbrDomain::Global().TryReclaim();

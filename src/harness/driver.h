@@ -26,6 +26,7 @@
 #include "src/harness/workload.h"
 #include "src/scenario/scenario.h"
 #include "src/strategy/strategy.h"
+#include "src/trace/tracer.h"
 
 namespace sb7 {
 
@@ -57,6 +58,19 @@ struct BenchConfig {
   // Record committed read/write sets during the run and check the history
   // for opacity afterwards (CLI --check-opacity; STM strategies only).
   bool check_opacity = false;
+
+  // Install the tracer (src/trace/) for the run: conflict attribution,
+  // latency decomposition, and sampled lifecycle events. Implied by a
+  // non-empty trace_path; sb7-bench sets it directly for --trace-cells.
+  bool trace = false;
+  // When non-empty, the CLI writes a Chrome trace-event JSON timeline here
+  // (CLI --trace; implies `trace`).
+  std::string trace_path;
+  // Record every Nth transaction's lifecycle events (CLI --trace-sample).
+  uint32_t trace_sample = 1;
+  // Per-thread event-ring capacity in events, rounded up to a power of two
+  // (CLI --trace-buffer).
+  size_t trace_buffer = 1 << 16;
   // When non-empty, the CLI writes a machine-readable CSV here.
   std::string csv_path;
   // When non-empty, the CLI writes a machine-readable JSON report here.
@@ -85,6 +99,10 @@ class BenchmarkRunner {
   // Number of worker threads actually spawned (the max active count over
   // all phases; a scenario thread ramp can exceed config().threads).
   int spawned_threads() const { return spawn_threads_; }
+  // The run's tracer; null unless the config enabled tracing. Valid for the
+  // runner's lifetime — the CLI drains it for the timeline export after
+  // Run() returns.
+  trace::Tracer* tracer() const { return tracer_.get(); }
 
  private:
   // One scenario phase, resolved against the run-level configuration.
@@ -109,6 +127,9 @@ class BenchmarkRunner {
     StmStats::View stm_end = {};
     HotspotCounters hot_begin;
     HotspotCounters hot_end;
+    // Conflict-table snapshots at the phase boundaries (tracing runs only).
+    trace::ConflictTable::Snapshot conflict_begin;
+    trace::ConflictTable::Snapshot conflict_end;
   };
 
   // Per-worker open-loop pacing state for one phase.
@@ -132,6 +153,7 @@ class BenchmarkRunner {
   OperationRegistry registry_;
   std::unique_ptr<SyncStrategy> strategy_;
   std::unique_ptr<DataHolder> data_;
+  std::unique_ptr<trace::Tracer> tracer_;
   std::vector<double> ratios_;
   int spawn_threads_ = 1;
 

@@ -12,6 +12,7 @@
 #include "src/core/invariants.h"
 #include "src/harness/cli.h"
 #include "src/harness/report.h"
+#include "src/trace/chrome_trace.h"
 
 namespace {
 
@@ -157,6 +158,21 @@ int main(int argc, char** argv) {
     }
     sb7::WriteCsv(csv, runner, result);
     std::cerr << "CSV written to " << cli.config.csv_path << "\n";
+  }
+
+  if (!cli.config.trace_path.empty()) {
+    std::ofstream trace(cli.config.trace_path);
+    if (!trace) {
+      std::cerr << "error: cannot write " << cli.config.trace_path << "\n";
+      return 2;
+    }
+    sb7::trace::ChromeTraceOptions options;
+    for (const auto& op : runner.registry().all()) {
+      options.op_names.push_back(op->name());
+    }
+    sb7::trace::WriteChromeTrace(trace, runner.tracer()->DrainEvents(), options);
+    std::cerr << "trace timeline written to " << cli.config.trace_path
+              << " (open in Perfetto or chrome://tracing)\n";
   }
 
   if (!cli.config.json_path.empty()) {

@@ -10,6 +10,8 @@
 #include "src/ops/operation.h"
 #include "src/scenario/scenario.h"
 #include "src/stm/stm.h"
+#include "src/trace/conflict.h"
+#include "src/trace/tracer.h"
 
 namespace sb7 {
 
@@ -79,6 +81,10 @@ struct PhaseResult {
   int64_t hot_samples = 0;  // skewed id draws during the phase
   int64_t hot_hits = 0;
 
+  // Conflict attribution over the phase window (tracing runs only;
+  // attributed_aborts stays 0 otherwise).
+  trace::ConflictSummary conflicts;
+
   double SuccessThroughput() const {
     return elapsed_seconds > 0 ? static_cast<double>(total_success) / elapsed_seconds : 0.0;
   }
@@ -101,6 +107,17 @@ struct BenchResult {
   // One entry per scenario phase, in execution order; empty for plain
   // (non-scenario) runs.
   std::vector<PhaseResult> phases;
+
+  // --- tracing outputs (meaningful only when the run traced) ---
+  bool traced = false;
+  // Whole-run conflict attribution.
+  trace::ConflictSummary conflicts;
+  // Latency decomposition indexed by op slot (trace::ConflictOpSlot
+  // convention: 0 = no op context, i+1 = registry op i). Empty when not
+  // traced.
+  std::vector<trace::OpLatencyBreakdown> latency_by_op;
+  // Events lost to ring overflow (an honesty signal for the timeline).
+  int64_t trace_events_dropped = 0;
 
   double SuccessThroughput() const {
     return elapsed_seconds > 0 ? static_cast<double>(total_success) / elapsed_seconds : 0.0;

@@ -17,10 +17,37 @@ constexpr std::array<OpCategory, 4> kCategories = {
 };
 
 // CSV metadata schema version. 1 = the implicit pre-scenario layout; 2 adds
-// p999_ms/started_per_s op columns and the per-phase section.
-constexpr int kCsvSchemaVersion = 2;
+// p999_ms/started_per_s op columns and the per-phase section; 3 adds the
+// stm_kills/abort-cause metadata keys and syncs the per-phase rows with the
+// run-level STM block (validation_steps, kills, abort causes).
+constexpr int kCsvSchemaVersion = 3;
 
-void PrintPhaseSection(std::ostream& out, const PhaseResult& phase) {
+// Pair-matrix axis label: slot 0 is activity outside any operation (setup,
+// tests), slot i+1 is registry op i.
+std::string SlotName(const std::vector<std::unique_ptr<Operation>>& ops, int slot) {
+  if (slot <= 0 || static_cast<size_t>(slot) > ops.size()) {
+    return "(none)";
+  }
+  return ops[slot - 1]->name();
+}
+
+void PrintConflictSummary(std::ostream& out, const trace::ConflictSummary& conflicts,
+                          const std::vector<std::unique_ptr<Operation>>& ops,
+                          const char* indent) {
+  out << indent << "conflicts: " << conflicts.attributed_aborts << " of "
+      << conflicts.total_aborts << " aborts attributed to a stripe\n";
+  for (const trace::ConflictHotLocation& location : conflicts.top_locations) {
+    out << indent << "  stripe 0x" << std::hex << location.key << std::dec << ": "
+        << location.aborts << " aborts\n";
+  }
+  for (const trace::ConflictPair& pair : conflicts.top_pairs) {
+    out << indent << "  " << SlotName(ops, pair.victim_slot) << " killed by "
+        << SlotName(ops, pair.writer_slot) << ": " << pair.aborts << "\n";
+  }
+}
+
+void PrintPhaseSection(std::ostream& out, const PhaseResult& phase,
+                       const std::vector<std::unique_ptr<Operation>>& ops, bool traced) {
   out << "  phase " << std::left << std::setw(10) << phase.name << std::right
       << " arrival=" << ArrivalModelName(phase.arrival) << " threads=" << phase.threads
       << " read-fraction=" << std::fixed << std::setprecision(2) << phase.read_fraction;
@@ -57,6 +84,16 @@ void PrintPhaseSection(std::ostream& out, const PhaseResult& phase) {
     out << "    stm: commits " << phase.stm.commits << ", aborts " << phase.stm.aborts
         << ", read-only commits " << phase.stm.ro_commits << ", read-only aborts "
         << phase.stm.ro_aborts << "\n";
+    if (phase.stm.aborts > 0) {
+      out << "    abort causes: read-validation " << phase.stm.aborts_read_validation
+          << ", write-lock " << phase.stm.aborts_write_lock << ", kill "
+          << phase.stm.aborts_kill << ", snapshot-too-old "
+          << phase.stm.aborts_snapshot_too_old << ", unknown " << phase.stm.aborts_unknown
+          << "\n";
+    }
+  }
+  if (traced && phase.conflicts.total_aborts > 0) {
+    PrintConflictSummary(out, phase.conflicts, ops, "    ");
   }
 }
 
@@ -155,7 +192,7 @@ void PrintReport(std::ostream& out, const BenchmarkRunner& runner, const BenchRe
   if (!result.phases.empty()) {
     out << "\n== Phase results ==\n";
     for (const PhaseResult& phase : result.phases) {
-      PrintPhaseSection(out, phase);
+      PrintPhaseSection(out, phase, ops, result.traced);
     }
   }
 
@@ -194,6 +231,51 @@ void PrintReport(std::ostream& out, const BenchmarkRunner& runner, const BenchRe
     out << "  contention kills:      " << stm.kills << "\n";
     out << "  read-only s/c/a:       " << stm.ro_starts << " / " << stm.ro_commits << " / "
         << stm.ro_aborts << "\n";
+    if (stm.aborts > 0) {
+      out << "  abort causes:          read-validation " << stm.aborts_read_validation
+          << ", write-lock " << stm.aborts_write_lock << ", kill " << stm.aborts_kill
+          << ", snapshot-too-old " << stm.aborts_snapshot_too_old << ", unknown "
+          << stm.aborts_unknown << "\n";
+    }
+  }
+
+  if (result.traced) {
+    out << "\n== Conflict attribution ==\n";
+    PrintConflictSummary(out, result.conflicts, ops, "  ");
+    if (result.trace_events_dropped > 0) {
+      out << "  timeline events dropped to ring overflow: " << result.trace_events_dropped
+          << " (raise --trace-buffer or --trace-sample)\n";
+    }
+
+    // Latency decomposition: where a transaction attempt's time went, per
+    // operation, averaged over attempts (commits and aborts alike).
+    bool any = false;
+    for (const trace::OpLatencyBreakdown& lat : result.latency_by_op) {
+      if (lat.attempts > 0) {
+        any = true;
+        break;
+      }
+    }
+    if (any) {
+      out << "\n== Latency decomposition (mean us/attempt) ==\n";
+      out << std::left << std::setw(10) << "op" << std::right << std::setw(10) << "attempts"
+          << std::setw(10) << "commits" << std::setw(10) << "read" << std::setw(12)
+          << "validate" << std::setw(10) << "commit" << std::setw(10) << "backoff" << "\n";
+      for (size_t slot = 0; slot < result.latency_by_op.size(); ++slot) {
+        const trace::OpLatencyBreakdown& lat = result.latency_by_op[slot];
+        if (lat.attempts == 0) {
+          continue;
+        }
+        const double n = static_cast<double>(lat.attempts);
+        out << std::left << std::setw(10) << SlotName(ops, static_cast<int>(slot))
+            << std::right << std::setw(10) << lat.attempts << std::setw(10) << lat.commits
+            << std::fixed << std::setprecision(1) << std::setw(10)
+            << static_cast<double>(lat.read_nanos) / n / 1e3 << std::setw(12)
+            << static_cast<double>(lat.validation_nanos) / n / 1e3 << std::setw(10)
+            << static_cast<double>(lat.commit_nanos) / n / 1e3 << std::setw(10)
+            << static_cast<double>(lat.backoff_nanos) / n / 1e3 << "\n";
+      }
+    }
   }
 }
 
@@ -220,6 +302,15 @@ void WriteCsv(std::ostream& out, const BenchmarkRunner& runner, const BenchResul
     out << "# stm_validation_steps=" << result.stm.validation_steps << "\n";
     out << "# stm_bytes_cloned=" << result.stm.bytes_cloned << "\n";
     out << "# stm_ro_aborts=" << result.stm.ro_aborts << "\n";
+    out << "# stm_kills=" << result.stm.kills << "\n";
+    out << "# stm_aborts_read_validation=" << result.stm.aborts_read_validation << "\n";
+    out << "# stm_aborts_write_lock=" << result.stm.aborts_write_lock << "\n";
+    out << "# stm_aborts_kill=" << result.stm.aborts_kill << "\n";
+    out << "# stm_aborts_snapshot_too_old=" << result.stm.aborts_snapshot_too_old << "\n";
+    out << "# stm_aborts_unknown=" << result.stm.aborts_unknown << "\n";
+  }
+  if (result.traced) {
+    out << "# trace_events_dropped=" << result.trace_events_dropped << "\n";
   }
   // Schema 2 keeps the schema-1 column order and appends p999_ms and the
   // per-operation started throughput.
@@ -252,7 +343,9 @@ void WriteCsv(std::ostream& out, const BenchmarkRunner& runner, const BenchResul
     out << "phase,arrival,threads,read_fraction,zipf_theta,elapsed_s,completed,failed,"
            "ops_per_s,started_per_s,target_rate,arrivals,delayed,backlog_peak,"
            "qd_p50_ms,qd_p90_ms,qd_p99_ms,qd_p999_ms,qd_max_ms,"
-           "stm_commits,stm_aborts,stm_ro_aborts,hot_hits,hot_samples\n";
+           "stm_commits,stm_aborts,stm_ro_aborts,stm_validation_steps,stm_kills,"
+           "stm_aborts_read_validation,stm_aborts_write_lock,stm_aborts_kill,"
+           "stm_aborts_snapshot_too_old,hot_hits,hot_samples\n";
     for (const PhaseResult& phase : result.phases) {
       const TtcHistogram& qd = phase.pace.queue_delay;
       out << phase.name << ',' << ArrivalModelName(phase.arrival) << ',' << phase.threads
@@ -265,7 +358,10 @@ void WriteCsv(std::ostream& out, const BenchmarkRunner& runner, const BenchResul
           << qd.QuantileMillis(0.9) << ',' << qd.QuantileMillis(0.99) << ','
           << qd.QuantileMillis(0.999) << ',' << static_cast<double>(qd.max_nanos()) / 1e6
           << ',' << phase.stm.commits << ',' << phase.stm.aborts << ',' << phase.stm.ro_aborts
-          << ',' << phase.hot_hits << ',' << phase.hot_samples << "\n";
+          << ',' << phase.stm.validation_steps << ',' << phase.stm.kills << ','
+          << phase.stm.aborts_read_validation << ',' << phase.stm.aborts_write_lock << ','
+          << phase.stm.aborts_kill << ',' << phase.stm.aborts_snapshot_too_old << ','
+          << phase.hot_hits << ',' << phase.hot_samples << "\n";
     }
   }
 }
@@ -310,7 +406,36 @@ void WriteStmJson(std::ostream& out, const StmStats::View& stm, const char* inde
       << ", \"validation_steps\": " << stm.validation_steps
       << ", \"bytes_cloned\": " << stm.bytes_cloned << ", \"kills\": " << stm.kills << ",\n";
   out << indent << "  \"ro_starts\": " << stm.ro_starts
-      << ", \"ro_commits\": " << stm.ro_commits << ", \"ro_aborts\": " << stm.ro_aborts << "\n";
+      << ", \"ro_commits\": " << stm.ro_commits << ", \"ro_aborts\": " << stm.ro_aborts
+      << ",\n";
+  out << indent << "  \"abort_causes\": {\"read_validation\": " << stm.aborts_read_validation
+      << ", \"write_lock\": " << stm.aborts_write_lock << ", \"kill\": " << stm.aborts_kill
+      << ", \"snapshot_too_old\": " << stm.aborts_snapshot_too_old
+      << ", \"unknown\": " << stm.aborts_unknown << "}\n";
+  out << indent << "}";
+}
+
+void WriteConflictsJson(std::ostream& out, const trace::ConflictSummary& conflicts,
+                        const std::vector<std::unique_ptr<Operation>>& ops,
+                        const char* indent) {
+  out << "{\n";
+  out << indent << "  \"total_aborts\": " << conflicts.total_aborts
+      << ", \"attributed_aborts\": " << conflicts.attributed_aborts << ",\n";
+  out << indent << "  \"top_locations\": [";
+  for (size_t i = 0; i < conflicts.top_locations.size(); ++i) {
+    const trace::ConflictHotLocation& location = conflicts.top_locations[i];
+    out << (i == 0 ? "" : ", ") << "{\"key\": \"0x" << std::hex << location.key << std::dec
+        << "\", \"aborts\": " << location.aborts << "}";
+  }
+  out << "],\n";
+  out << indent << "  \"top_pairs\": [";
+  for (size_t i = 0; i < conflicts.top_pairs.size(); ++i) {
+    const trace::ConflictPair& pair = conflicts.top_pairs[i];
+    out << (i == 0 ? "" : ", ") << "{\"victim\": " << JsonString(SlotName(ops, pair.victim_slot))
+        << ", \"writer\": " << JsonString(SlotName(ops, pair.writer_slot))
+        << ", \"aborts\": " << pair.aborts << "}";
+  }
+  out << "]\n";
   out << indent << "}";
 }
 
@@ -343,6 +468,29 @@ void WriteJson(std::ostream& out, const BenchmarkRunner& runner, const BenchResu
     out << "  \"stm\": ";
     WriteStmJson(out, result.stm, "  ");
     out << ",\n";
+  }
+  if (result.traced) {
+    out << "  \"trace\": {\n";
+    out << "    \"dropped_events\": " << result.trace_events_dropped << ",\n";
+    out << "    \"conflicts\": ";
+    WriteConflictsJson(out, result.conflicts, ops, "    ");
+    out << ",\n    \"latency_by_op\": [";
+    bool first_slot = true;
+    for (size_t slot = 0; slot < result.latency_by_op.size(); ++slot) {
+      const trace::OpLatencyBreakdown& lat = result.latency_by_op[slot];
+      if (lat.attempts == 0) {
+        continue;
+      }
+      out << (first_slot ? "\n" : ",\n");
+      first_slot = false;
+      out << "      {\"op\": " << JsonString(SlotName(ops, static_cast<int>(slot)))
+          << ", \"attempts\": " << lat.attempts << ", \"commits\": " << lat.commits
+          << ", \"aborts\": " << lat.aborts << ", \"read_nanos\": " << lat.read_nanos
+          << ", \"validation_nanos\": " << lat.validation_nanos
+          << ", \"commit_nanos\": " << lat.commit_nanos
+          << ", \"backoff_nanos\": " << lat.backoff_nanos << "}";
+    }
+    out << (first_slot ? "]" : "\n    ]") << "\n  },\n";
   }
 
   out << "  \"operations\": [";
@@ -406,6 +554,10 @@ void WriteJson(std::ostream& out, const BenchmarkRunner& runner, const BenchResu
           << ", \"samples\": " << phase.hot_samples << "},\n";
       out << "      \"stm\": ";
       WriteStmJson(out, phase.stm, "      ");
+      if (result.traced) {
+        out << ",\n      \"conflicts\": ";
+        WriteConflictsJson(out, phase.conflicts, ops, "      ");
+      }
       out << "\n    }";
     }
     out << "\n  ]";

@@ -12,12 +12,13 @@ namespace sb7 {
 
 void PrintReport(std::ostream& out, const BenchmarkRunner& runner, const BenchResult& result);
 
-// Machine-readable CSV (schema 2): '#'-prefixed metadata lines, then one row
-// per enabled operation (name, category, read_only, configured ratio,
-// completed, failed, max/mean/p50/p90/p99/p99.9 latency in ms and started
-// throughput) and a TOTAL row. Scenario runs append a per-phase section
-// (one row per phase with throughput, queue-delay percentiles, backlog and
-// STM/hotspot deltas).
+// Machine-readable CSV (schema 3): '#'-prefixed metadata lines (including
+// the per-cause abort breakdown), then one row per enabled operation (name,
+// category, read_only, configured ratio, completed, failed,
+// max/mean/p50/p90/p99/p99.9 latency in ms and started throughput) and a
+// TOTAL row. Scenario runs append a per-phase section (one row per phase
+// with throughput, queue-delay percentiles, backlog and STM — including
+// validation/kill/abort-cause — and hotspot deltas).
 void WriteCsv(std::ostream& out, const BenchmarkRunner& runner, const BenchResult& result);
 
 // Machine-readable JSON mirroring the CSV content: config and totals as one

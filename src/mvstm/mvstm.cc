@@ -57,6 +57,7 @@ uint64_t MvTx::Read(const TxFieldBase& field) {
   const uint64_t value = field.LoadRaw(std::memory_order_acquire);
   const uint64_t post = stripe.load(std::memory_order_acquire);
   if (LockTable::IsLocked(pre) || pre != post || LockTable::VersionOf(pre) > start_ts_) {
+    SetTxAbortCause(AbortCause::kReadValidation, &stripe);
     throw TxAborted{};
   }
   read_set_.push_back(&stripe);
@@ -69,6 +70,8 @@ void MvTx::Write(TxFieldBase& field, uint64_t value) {
     // path recorded no read set, so the attempt cannot be upgraded in place;
     // abort once and rerun every later attempt in update mode.
     demoted_ = true;
+    SetTxAbortCause(AbortCause::kSnapshotTooOld,
+                    &LockTable::Global().StripeOf(field));
     throw TxAborted{};
   }
   ++local_writes_;
@@ -96,6 +99,7 @@ bool MvTx::AcquireWriteStripes() {
     if (LockTable::IsLocked(word) ||
         !stripe->compare_exchange_strong(word, LockTable::MakeLocked(this),
                                          std::memory_order_acq_rel)) {
+      SetTxAbortCause(AbortCause::kWriteLock, stripe);
       ReleaseAcquired(0, /*use_saved=*/true);
       return false;
     }
@@ -113,12 +117,15 @@ void MvTx::ReleaseAcquired(uint64_t unlock_version, bool use_saved) {
 }
 
 bool MvTx::ValidateReadSet() {
+  TxValidationScope validation;
+  validation.set_steps(read_set_.size());
   local_validation_steps_ += static_cast<int64_t>(read_set_.size());
   for (const std::atomic<uint64_t>* stripe : read_set_) {
     const uint64_t word = stripe->load(std::memory_order_acquire);
     uint64_t effective = word;
     if (LockTable::IsLocked(word)) {
       if (LockTable::OwnerOf(word) != this) {
+        SetTxAbortCause(AbortCause::kReadValidation, stripe);
         return false;
       }
       // Locked by our own commit: validate against the pre-lock version (a
@@ -132,6 +139,7 @@ bool MvTx::ValidateReadSet() {
       effective = it->saved_word;
     }
     if (LockTable::VersionOf(effective) > start_ts_) {
+      SetTxAbortCause(AbortCause::kReadValidation, stripe);
       return false;
     }
   }

@@ -11,6 +11,7 @@
 
 #include "src/common/text.h"
 #include "src/perf/compare.h"
+#include "src/perf/json.h"
 #include "src/perf/report.h"
 #include "src/perf/runner.h"
 #include "src/perf/stats.h"
@@ -36,6 +37,10 @@ std::string UsageText() {
   --threads <list>       override the thread axis (comma-separated)
   --scale <s>            override the scale axis (tiny | small | medium)
   --seed <n>             override the base RNG seed
+  --trace-cells          install the tracer for every cell and record a
+                         per-cell conflict summary in the artifact
+  --validate-json <file> parse a JSON file (e.g. a --trace timeline) with the
+                         in-tree parser and exit 0 iff it is well-formed
   --quiet                suppress per-cell progress on stderr
   --help                 show this message
 Environment (between spec defaults and flags in precedence):
@@ -57,6 +62,8 @@ struct Options {
   std::string scale;
   uint64_t seed = 0;
   bool seed_given = false;
+  bool trace_cells = false;
+  std::string validate_json_path;
   bool quiet = false;
   bool list = false;
   bool help = false;
@@ -147,6 +154,12 @@ Options ParseArgs(int argc, char** argv) {
         return fail("--seed requires an integer");
       }
       options.seed_given = true;
+    } else if (arg == "--trace-cells") {
+      options.trace_cells = true;
+    } else if (arg == "--validate-json") {
+      if (!next(options.validate_json_path) || options.validate_json_path.empty()) {
+        return fail("--validate-json requires a file path");
+      }
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -154,8 +167,8 @@ Options ParseArgs(int argc, char** argv) {
     }
   }
   if (options.error.empty() && !options.list && options.sweep.empty() &&
-      options.compare_path.empty()) {
-    return fail("nothing to do: pass --sweep, --compare or --list");
+      options.compare_path.empty() && options.validate_json_path.empty()) {
+    return fail("nothing to do: pass --sweep, --compare, --validate-json or --list");
   }
   if (options.error.empty() && !options.against_path.empty() &&
       options.compare_path.empty()) {
@@ -206,6 +219,29 @@ void ApplyOverrides(sb7::perf::SweepSpec& spec, const Options& options) {
   }
 }
 
+// Validates that a file parses with the in-tree JSON parser (src/perf/json).
+// Used by CI on the emitted --trace timelines: a malformed timeline would
+// otherwise only fail when a human loads it into Perfetto.
+int RunValidateJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const sb7::perf::JsonParseResult parsed = sb7::perf::ParseJson(buffer.str());
+  if (!parsed.ok()) {
+    std::cerr << "INVALID JSON in " << path << ": " << parsed.error << "\n";
+    return 1;
+  }
+  std::cout << path << ": valid JSON ("
+            << (parsed.value.is_object() ? "object" : parsed.value.is_array() ? "array"
+                                                                              : "scalar")
+            << " root)\n";
+  return 0;
+}
+
 int RunCompareOnly(const Options& options) {
   const sb7::perf::BaselineLoadResult base =
       sb7::perf::LoadBaselineFile(options.compare_path);
@@ -244,6 +280,9 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  if (!options.validate_json_path.empty()) {
+    return RunValidateJson(options.validate_json_path);
+  }
   if (options.sweep.empty()) {
     return RunCompareOnly(options);
   }
@@ -262,6 +301,7 @@ int main(int argc, char** argv) {
   }
 
   sb7::perf::SweepRunOptions run_options;
+  run_options.trace_cells = options.trace_cells;
   if (!options.quiet) {
     run_options.log = &std::cerr;
     std::cerr << "sweep '" << spec.name << "': "

@@ -22,9 +22,12 @@ BaselineLoadResult LoadBaseline(const std::string& json_text) {
     result.error = "baseline is not a JSON object";
     return result;
   }
+  // Accept every schema up to the current one: PR-era baselines written
+  // under schema 1 keep gating newer builds (added keys are optional).
   const JsonValue* schema = doc.Find("schema");
-  if (schema == nullptr || static_cast<int>(schema->AsNumber(-1)) != kBenchSchemaVersion) {
-    result.error = "unsupported BENCH schema (expected " +
+  const int schema_version = schema == nullptr ? -1 : static_cast<int>(schema->AsNumber(-1));
+  if (schema_version < 1 || schema_version > kBenchSchemaVersion) {
+    result.error = "unsupported BENCH schema (expected 1.." +
                    std::to_string(kBenchSchemaVersion) + ")";
     return result;
   }
@@ -60,6 +63,14 @@ BaselineLoadResult LoadBaseline(const std::string& json_text) {
         }
       }
     }
+    if (const JsonValue* conflicts = cell.Find("conflicts")) {
+      if (const JsonValue* total = conflicts->Find("total_aborts")) {
+        out.conflict_total_aborts = total->AsNumber(-1);
+      }
+      if (const JsonValue* attributed = conflicts->Find("attributed_aborts")) {
+        out.conflict_attributed_aborts = attributed->AsNumber(-1);
+      }
+    }
   }
   return result;
 }
@@ -86,6 +97,11 @@ Baseline BaselineFromResult(const SweepResult& result) {
     out.throughput_median = cell.throughput_median;
     for (const ProbeStats& probe : cell.probes) {
       out.probe_max_ms[probe.op] = probe.max_ms_median;
+    }
+    if (cell.traced) {
+      out.conflict_total_aborts = static_cast<double>(cell.conflicts.total_aborts);
+      out.conflict_attributed_aborts =
+          static_cast<double>(cell.conflicts.attributed_aborts);
     }
   }
   return baseline;
@@ -150,6 +166,18 @@ CompareReport CompareSweeps(const Baseline& baseline, const Baseline& current,
       row.regressed = row.current < row.baseline * (1.0 - report.threshold);
       report.regressions += row.regressed ? 1 : 0;
       report.rows.push_back(row);
+      // Abort-attribution context rides along when both artifacts carry it
+      // (schema-2, --trace-cells runs); informational only, never a gate.
+      if (base_cell.conflict_total_aborts >= 0 && cur_cell.conflict_total_aborts >= 0) {
+        std::ostringstream note;
+        note << "aborts " << key << ": "
+             << static_cast<int64_t>(base_cell.conflict_total_aborts) << " ("
+             << static_cast<int64_t>(base_cell.conflict_attributed_aborts)
+             << " attributed) -> " << static_cast<int64_t>(cur_cell.conflict_total_aborts)
+             << " (" << static_cast<int64_t>(cur_cell.conflict_attributed_aborts)
+             << " attributed)";
+        report.notes.push_back(note.str());
+      }
     }
   }
   for (const auto& [key, cell] : current.cells) {

@@ -23,10 +23,14 @@
 namespace sb7::perf {
 
 /// The comparable slice of one cell: the headline throughput and each
-/// probe's median max-latency.
+/// probe's median max-latency. The conflict counters ride along from BENCH
+/// schema-2 cells recorded with --trace-cells (-1 = the artifact did not
+/// carry them); they are informational context in the report, never a gate.
 struct BaselineCell {
   double throughput_median = 0.0;
   std::map<std::string, double> probe_max_ms;  ///< op name -> median max ms
+  double conflict_total_aborts = -1.0;
+  double conflict_attributed_aborts = -1.0;
 };
 
 /// The comparable slice of one sweep artifact (either loaded from a
@@ -45,7 +49,8 @@ struct BaselineLoadResult {
   bool ok() const { return error.empty(); }
 };
 
-/// Parses a BENCH_*.json document (schema 1) into its comparable slice.
+/// Parses a BENCH_*.json document (any schema in [1, current]) into its
+/// comparable slice.
 BaselineLoadResult LoadBaseline(const std::string& json_text);
 /// Reads and parses a BENCH_*.json file.
 BaselineLoadResult LoadBaselineFile(const std::string& path);

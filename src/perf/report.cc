@@ -57,7 +57,35 @@ void WriteStmBlock(std::ostream& out, const StmStats::View& stm, const char* ind
       << ", \"bytes_cloned\": " << stm.bytes_cloned << ", \"kills\": " << stm.kills << ",\n";
   out << indent << "  \"ro_starts\": " << stm.ro_starts
       << ", \"ro_commits\": " << stm.ro_commits << ", \"ro_aborts\": " << stm.ro_aborts
-      << "\n";
+      << ",\n";
+  out << indent << "  \"abort_causes\": {\"read_validation\": " << stm.aborts_read_validation
+      << ", \"write_lock\": " << stm.aborts_write_lock << ", \"kill\": " << stm.aborts_kill
+      << ", \"snapshot_too_old\": " << stm.aborts_snapshot_too_old
+      << ", \"unknown\": " << stm.aborts_unknown << "}\n";
+  out << indent << "}";
+}
+
+void WriteConflictsBlock(std::ostream& out, const CellConflicts& conflicts,
+                         const char* indent) {
+  out << "{\n";
+  out << indent << "  \"total_aborts\": " << conflicts.total_aborts
+      << ", \"attributed_aborts\": " << conflicts.attributed_aborts
+      << ", \"dropped_events\": " << conflicts.dropped_events << ",\n";
+  out << indent << "  \"top_locations\": [";
+  for (size_t i = 0; i < conflicts.top_locations.size(); ++i) {
+    const trace::ConflictHotLocation& location = conflicts.top_locations[i];
+    out << (i == 0 ? "" : ", ") << "{\"key\": \"0x" << std::hex << location.key << std::dec
+        << "\", \"aborts\": " << location.aborts << "}";
+  }
+  out << "],\n";
+  out << indent << "  \"top_pairs\": [";
+  for (size_t i = 0; i < conflicts.top_pairs.size(); ++i) {
+    const NamedConflictPair& pair = conflicts.top_pairs[i];
+    out << (i == 0 ? "" : ", ") << "{\"victim\": " << JsonString(pair.victim)
+        << ", \"writer\": " << JsonString(pair.writer) << ", \"aborts\": " << pair.aborts
+        << "}";
+  }
+  out << "]\n";
   out << indent << "}";
 }
 
@@ -127,6 +155,10 @@ void WriteSweepJson(std::ostream& out, const SweepResult& result) {
     if (cell.has_stm) {
       out << ",\n      \"stm\": ";
       WriteStmBlock(out, cell.stm, "      ");
+    }
+    if (cell.traced) {
+      out << ",\n      \"conflicts\": ";
+      WriteConflictsBlock(out, cell.conflicts, "      ");
     }
     out << "\n    }";
   }

@@ -1,11 +1,11 @@
 /// \file
 /// Sweep result serialization: the versioned `BENCH_<sweep>.json` artifact
-/// (schema pinned by tests/perf_test.cc, following the CSV `schema=2`
+/// (schema pinned by tests/perf_test.cc, following the CSV `schema=3`
 /// discipline of the harness reports) and the human-readable comparison
 /// table printed after every run.
 ///
-/// BENCH schema 1, top-level keys:
-///   schema   integer, currently 1
+/// BENCH schema 2, top-level keys:
+///   schema   integer, currently 2
 ///   tool     "sb7-bench"
 ///   sweep    the sweep name
 ///   metric   "throughput" | "latency"
@@ -19,7 +19,14 @@
 ///            plus "probes" (array of {op, max_ms_median, max_ms_min,
 ///            max_ms_max}) when probes are configured and "stm" (the
 ///            median repetition's counter deltas) for STM backends.
-/// Changing any of this is a schema bump and must update the golden test.
+/// Schema 2 adds the "abort_causes" sub-object to every "stm" block and,
+/// for sweeps run with --trace-cells, a per-cell "conflicts" block:
+///            {total_aborts, attributed_aborts, dropped_events,
+///             top_locations: [{key, aborts}],
+///             top_pairs: [{victim, writer, aborts}]}
+/// Readers accept any schema in [1, current] (--compare treats the added
+/// keys as optional). Changing any of this is a schema bump and must
+/// update the golden test.
 
 #ifndef STMBENCH7_SRC_PERF_REPORT_H_
 #define STMBENCH7_SRC_PERF_REPORT_H_
@@ -31,7 +38,7 @@
 namespace sb7::perf {
 
 /// The BENCH_*.json schema version this build writes and reads.
-constexpr int kBenchSchemaVersion = 1;
+constexpr int kBenchSchemaVersion = 2;
 
 /// Writes the machine-readable sweep artifact described above.
 void WriteSweepJson(std::ostream& out, const SweepResult& result);

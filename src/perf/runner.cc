@@ -20,6 +20,7 @@ struct RepSample {
   std::vector<double> probe_max_ms;  // parallel to spec.probes; -1 = never completed
   bool has_stm = false;
   StmStats::View stm = {};
+  CellConflicts conflicts;
 
   double Throughput() const {
     return elapsed_seconds > 0 ? static_cast<double>(success) / elapsed_seconds : 0.0;
@@ -28,22 +29,6 @@ struct RepSample {
     return elapsed_seconds > 0 ? static_cast<double>(started) / elapsed_seconds : 0.0;
   }
 };
-
-StmStats::View AddViews(const StmStats::View& a, const StmStats::View& b) {
-  StmStats::View s;
-  s.starts = a.starts + b.starts;
-  s.commits = a.commits + b.commits;
-  s.aborts = a.aborts + b.aborts;
-  s.reads = a.reads + b.reads;
-  s.writes = a.writes + b.writes;
-  s.validation_steps = a.validation_steps + b.validation_steps;
-  s.bytes_cloned = a.bytes_cloned + b.bytes_cloned;
-  s.kills = a.kills + b.kills;
-  s.ro_starts = a.ro_starts + b.ro_starts;
-  s.ro_commits = a.ro_commits + b.ro_commits;
-  s.ro_aborts = a.ro_aborts + b.ro_aborts;
-  return s;
-}
 
 // Builds the cell's scenario: [warmup phase] + measure body. The body is one
 // closed-loop phase for plain cells, or the built-in scenario's phases.
@@ -144,7 +129,7 @@ RepSample CollectRep(const SweepSpec& spec, const BenchmarkRunner& runner,
     sample.elapsed_seconds += phase.elapsed_seconds;
     sample.success += phase.total_success;
     sample.started += phase.total_started;
-    sample.stm = AddViews(sample.stm, phase.stm);
+    sample.stm = StmStats::View::Add(sample.stm, phase.stm);
     for (size_t q = 0; q < probe_indices.size(); ++q) {
       const int op = probe_indices[q];
       if (op < 0 || phase.per_op[op].success == 0) {
@@ -156,6 +141,30 @@ RepSample CollectRep(const SweepSpec& spec, const BenchmarkRunner& runner,
     }
   }
   sample.has_stm = runner.strategy().stm() != nullptr;
+
+  if (result.traced) {
+    // The cell summary is the whole-run window (the per-phase snapshots are
+    // in the harness reports); the warmup phase contributes, but its share
+    // of a multi-second cell is small and attribution is statistical anyway.
+    sample.conflicts.total_aborts = result.conflicts.total_aborts;
+    sample.conflicts.attributed_aborts = result.conflicts.attributed_aborts;
+    sample.conflicts.dropped_events = result.trace_events_dropped;
+    sample.conflicts.top_locations = result.conflicts.top_locations;
+    const auto& ops = runner.registry().all();
+    auto slot_name = [&ops](int slot) -> std::string {
+      if (slot <= 0 || static_cast<size_t>(slot) > ops.size()) {
+        return "(none)";
+      }
+      return ops[slot - 1]->name();
+    };
+    for (const trace::ConflictPair& pair : result.conflicts.top_pairs) {
+      NamedConflictPair named;
+      named.victim = slot_name(pair.victim_slot);
+      named.writer = slot_name(pair.writer_slot);
+      named.aborts = pair.aborts;
+      sample.conflicts.top_pairs.push_back(std::move(named));
+    }
+  }
   return sample;
 }
 
@@ -237,7 +246,8 @@ SweepRunOutcome RunSweep(const SweepSpec& spec, const SweepRunOptions& options) 
     const SweepCell& cell = cells[c];
     std::vector<RepSample> samples;
     for (int rep = 0; rep < spec.reps; ++rep) {
-      const BenchConfig config = BuildCellConfig(spec, cell, rep);
+      BenchConfig config = BuildCellConfig(spec, cell, rep);
+      config.trace = options.trace_cells;
       BenchmarkRunner runner(config);
       const BenchResult result = runner.Run();
       samples.push_back(CollectRep(spec, runner, result));
@@ -275,6 +285,8 @@ SweepRunOutcome RunSweep(const SweepSpec& spec, const SweepRunOptions& options) 
     const RepSample& median_rep = samples[MedianIndex(throughputs)];
     cell_result.has_stm = median_rep.has_stm;
     cell_result.stm = median_rep.stm;
+    cell_result.traced = options.trace_cells;
+    cell_result.conflicts = median_rep.conflicts;
     outcome.result.cells.push_back(cell_result);
 
     if (options.log != nullptr) {

@@ -20,6 +20,7 @@
 
 #include "src/perf/sweep.h"
 #include "src/stm/stm.h"
+#include "src/trace/conflict.h"
 
 namespace sb7::perf {
 
@@ -50,6 +51,24 @@ struct ProbeStats {
   double max_ms_max = -1.0;
 };
 
+/// The "who kills whom" pair with op names resolved against the registry,
+/// so the BENCH artifact is readable without re-deriving slot indices.
+struct NamedConflictPair {
+  std::string victim;
+  std::string writer;
+  int64_t aborts = 0;
+};
+
+/// Per-cell abort attribution (the median repetition's whole-run window,
+/// warmup included), collected only under --trace-cells.
+struct CellConflicts {
+  int64_t total_aborts = 0;
+  int64_t attributed_aborts = 0;
+  int64_t dropped_events = 0;
+  std::vector<trace::ConflictHotLocation> top_locations;
+  std::vector<NamedConflictPair> top_pairs;
+};
+
 /// Aggregated result of one cell: median-of-N throughput with min/max
 /// spread, probe latencies, and the STM counter deltas of the median
 /// repetition (summed over the measure phases; zeros for lock strategies).
@@ -64,6 +83,10 @@ struct CellResult {
   std::vector<ProbeStats> probes;
   bool has_stm = false;
   StmStats::View stm = {};
+  /// Set when the sweep ran with trace_cells; the JSON then carries a
+  /// "conflicts" block for the cell.
+  bool traced = false;
+  CellConflicts conflicts;
 };
 
 struct SweepResult {
@@ -74,6 +97,10 @@ struct SweepResult {
 struct SweepRunOptions {
   /// Progress log (one line per cell); null = silent.
   std::ostream* log = nullptr;
+  /// Install the tracer for every cell repetition and record per-cell
+  /// conflict summaries (sb7-bench --trace-cells). Off by default: tracing
+  /// costs a few percent and the sweep artifact is a perf trajectory.
+  bool trace_cells = false;
 };
 
 struct SweepRunOutcome {

@@ -1,8 +1,21 @@
 #include "src/stm/astm.h"
 
 #include "src/common/diag.h"
+#include "src/stm/lock_table.h"
 
 namespace sb7 {
+namespace {
+
+// Conflict key for a unit-granular abort: the lock-table stripe of the
+// unit's first field, so attribution shares the word-STM key space. Null
+// for the (theoretical) field-less unit.
+const void* UnitConflictKey(const TmUnit& unit) {
+  const auto& fields = unit.fields();
+  return fields.empty() ? nullptr
+                        : static_cast<const void*>(&LockTable::Global().StripeOf(*fields[0]));
+}
+
+}  // namespace
 
 AstmStm::AstmStm(std::unique_ptr<ContentionManager> cm) : cm_(std::move(cm)) {
   if (!cm_) {
@@ -32,6 +45,7 @@ void AstmTx::FlushLocalStats() {
 
 void AstmTx::CheckAlive() const {
   if (status_.load(std::memory_order_acquire) == AstmStatus::kAborted) {
+    SetTxAbortCause(AbortCause::kKill);
     throw TxAborted{};
   }
 }
@@ -39,16 +53,19 @@ void AstmTx::CheckAlive() const {
 bool AstmTx::ValidateReadList() {
   // Full scan: this is the O(k) step that, executed on every new read-open,
   // yields the O(k^2) behaviour characteristic of invisible-read STMs.
+  TxValidationScope validation;
+  validation.set_steps(read_map_.size());
   local_validation_steps_ += static_cast<int64_t>(read_map_.size());
   for (const auto& [unit, version] : read_map_) {
     if (unit->astm_version.load(std::memory_order_acquire) != version) {
+      SetTxAbortCause(AbortCause::kReadValidation, UnitConflictKey(*unit));
       return false;
     }
   }
   return true;
 }
 
-void AstmTx::HandleConflict(AstmTx& owner, int& retries) {
+void AstmTx::HandleConflict(const TmUnit& unit, AstmTx& owner, int& retries) {
   if (owner.status() != AstmStatus::kActive) {
     // The owner is committing or cleaning up; it will release shortly.
     Backoff::Pause(++retries);
@@ -56,6 +73,8 @@ void AstmTx::HandleConflict(AstmTx& owner, int& retries) {
   }
   switch (cm_->OnConflict(*this, owner, retries)) {
     case ContentionManager::Action::kAbortSelf:
+      // Lost the arbitration for `unit` to its current owner.
+      SetTxAbortCause(AbortCause::kWriteLock, UnitConflictKey(unit));
       throw TxAborted{};
     case ContentionManager::Action::kAbortOther:
       if (owner.RequestAbort()) {
@@ -86,12 +105,13 @@ uint64_t AstmTx::OpenRead(const TmUnit& unit) {
     AstmTx* owner = unit.astm_owner.load(std::memory_order_acquire);
     if (owner != nullptr && owner != this) {
       // Read-after-write conflict (DSTM/ASTM semantics): arbitrate.
-      HandleConflict(*owner, retries);
+      HandleConflict(unit, *owner, retries);
       continue;
     }
     break;
   }
   if (!ValidateReadList()) {
+    // Cause and conflict key were set by ValidateReadList.
     throw TxAborted{};
   }
   read_map_.emplace(&unit, version);
@@ -114,6 +134,7 @@ uint64_t AstmTx::Read(const TxFieldBase& field) {
   // open and the load; the seqlock-style version detects both the bump and
   // the odd (mid-flush) state.
   if (unit.astm_version.load(std::memory_order_acquire) != recorded) {
+    SetTxAbortCause(AbortCause::kReadValidation, UnitConflictKey(unit));
     throw TxAborted{};
   }
   return value;
@@ -131,7 +152,7 @@ AstmTx::WriteImage& AstmTx::OpenWrite(TmUnit& unit) {
       continue;
     }
     SB7_DCHECK(owner != this);  // write_map_ hit would have short-circuited
-    HandleConflict(*owner, retries);
+    HandleConflict(unit, *owner, retries);
   }
   // Ownership acquired; the previous owner (if any) finished its flush before
   // releasing, so the version is stable and even. Clone the whole object:
@@ -169,12 +190,14 @@ void AstmTx::Write(TxFieldBase& field, uint64_t value) {
 
 bool AstmTx::TryCommit() {
   if (!ValidateReadList()) {
+    // Cause and conflict key were set by ValidateReadList.
     AbortSelf();
     return false;
   }
   AstmStatus expected = AstmStatus::kActive;
   if (!status_.compare_exchange_strong(expected, AstmStatus::kCommitted,
                                        std::memory_order_acq_rel)) {
+    SetTxAbortCause(AbortCause::kKill);
     AbortSelf();  // a contention manager killed this transaction
     return false;
   }

@@ -86,7 +86,7 @@ class AstmTx : public TxImplBase {
   // Ensures `unit` is in the read list; returns the version recorded for it.
   uint64_t OpenRead(const TmUnit& unit);
   WriteImage& OpenWrite(TmUnit& unit);
-  void HandleConflict(AstmTx& owner, int& retries);
+  void HandleConflict(const TmUnit& unit, AstmTx& owner, int& retries);
   bool ValidateReadList();
   void ReleaseOwnerships();
 

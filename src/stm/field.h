@@ -14,8 +14,9 @@
 ///     plus the metadata the object-granular (ASTM-like) STM needs.
 ///     Word-based STMs ignore it.
 ///   * `Transaction` — the interface every STM implements.
-///   * `TxObserver` — the observation seam the correctness oracle records
-///     histories through.
+///   * `TxObserver` — the observation seam the correctness oracle and the
+///     tracer (src/trace/) record through; a fixed-capacity multi-observer
+///     registry dispatches to every installed observer.
 ///
 /// The core benchmark code therefore contains no concurrency control at
 /// all; strategies are injected orthogonally, as §4 of the paper requires.
@@ -27,12 +28,14 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
 #include <vector>
 
 #include "src/common/diag.h"
+#include "src/common/timing.h"
 #include "src/ebr/ebr.h"
 
 namespace sb7 {
@@ -157,15 +160,110 @@ inline thread_local Transaction* tls_current_tx = nullptr;
 inline Transaction* CurrentTx() { return tls_current_tx; }
 inline void SetCurrentTx(Transaction* tx) { tls_current_tx = tx; }
 
-/// Observation seam for the correctness oracle (src/check/history.*).
-///
-/// When an observer is installed, every transactional field access and
-/// every attempt boundary (begin / commit / abort, driven by
-/// Stm::RunAtomically) is reported to it. The hook is a single relaxed load
-/// of a global pointer on the hot path — null in normal runs, so benchmark
-/// numbers are unaffected unless recording was explicitly requested.
-/// Install/uninstall only while no transactions are in flight; the observer
-/// itself must be thread-safe (it is called concurrently from every
+/// Why a transaction attempt died, as reported by the backend at the abort
+/// site. `kUnknown` covers aborts whose site was never annotated (a bug) and
+/// self-aborts that carry no conflict (operation-level retry).
+enum class AbortCause : uint8_t {
+  kUnknown = 0,
+  kReadValidation,   // a read-set entry no longer validates at its snapshot
+  kWriteLock,        // lost a race for a write lock / ownership arbitration
+  kKill,             // killed by a contention manager (object STM)
+  kSnapshotTooOld,   // the attempt's snapshot cannot serve the access (mvstm)
+};
+inline constexpr int kAbortCauseCount = 5;
+
+constexpr const char* AbortCauseName(AbortCause cause) {
+  switch (cause) {
+    case AbortCause::kReadValidation:
+      return "read_validation";
+    case AbortCause::kWriteLock:
+      return "write_lock";
+    case AbortCause::kKill:
+      return "kill";
+    case AbortCause::kSnapshotTooOld:
+      return "snapshot_too_old";
+    case AbortCause::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+/// What a backend knows about an abort at the point it decides to die: the
+/// cause, plus an opaque conflict key identifying the contended location
+/// (the address of its lock-table stripe for the word STMs; null when the
+/// site has no single location, e.g. contention-manager kills).
+struct TxAbortInfo {
+  AbortCause cause = AbortCause::kUnknown;
+  uintptr_t conflict_key = 0;
+};
+
+namespace internal {
+inline thread_local TxAbortInfo tls_tx_abort_info{};
+}  // namespace internal
+
+/// Called by backends immediately before throwing TxAborted or returning
+/// false from TryCommit. A plain thread-local store — cheap enough to keep
+/// unconditional on abort paths.
+inline void SetTxAbortCause(AbortCause cause, const void* conflict_key = nullptr) {
+  internal::tls_tx_abort_info =
+      TxAbortInfo{cause, reinterpret_cast<uintptr_t>(conflict_key)};
+}
+
+/// Consumed once per abort by Stm::RunAtomically; resets to kUnknown so a
+/// stale cause can never be attributed to a later abort.
+inline TxAbortInfo ConsumeTxAbortInfo() {
+  const TxAbortInfo info = internal::tls_tx_abort_info;
+  internal::tls_tx_abort_info = TxAbortInfo{};
+  return info;
+}
+
+/// Operation context for attribution: the index (registry order) of the
+/// benchmark operation the calling thread is currently executing, -1 outside
+/// operations. Set by the harness worker loop around Execute; read by trace
+/// observers to label transactions and conflicts by op type.
+namespace internal {
+inline thread_local int tls_tx_op_context = -1;
+}  // namespace internal
+
+inline void SetTxOpContext(int op_index) { internal::tls_tx_op_context = op_index; }
+inline int TxOpContext() { return internal::tls_tx_op_context; }
+
+/// Per-attempt latency decomposition, produced by Stm::RunAtomically when
+/// transaction timing is enabled (see SetTxTimingEnabled). All buckets are
+/// nanoseconds of the attempt just ended; `validation_nanos` is accumulated
+/// by the backends' validation passes and subtracted from the enclosing
+/// body/commit buckets so the four buckets are disjoint.
+struct TxAttemptTiming {
+  int64_t read_nanos = 0;        // operation body: read-set build + compute
+  int64_t validation_nanos = 0;  // backend validation passes (body + commit)
+  int64_t commit_nanos = 0;      // TryCommit outside validation
+  int64_t backoff_nanos = 0;     // contention backoff before the attempt
+};
+
+/// Global switch for per-attempt timing. Off by default: the retry loop then
+/// takes no timestamps at all, keeping the tracing-off hot path free of
+/// clock reads. Flip only while no transactions are in flight.
+namespace internal {
+inline std::atomic<bool> g_tx_timing_enabled{false};
+inline thread_local int64_t tls_tx_validation_nanos = 0;
+}  // namespace internal
+
+inline bool TxTimingEnabled() {
+  return internal::g_tx_timing_enabled.load(std::memory_order_relaxed);
+}
+inline void SetTxTimingEnabled(bool enabled) {
+  internal::g_tx_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+/// Observation seam shared by the correctness oracle (src/check/history.*)
+/// and the tracer (src/trace/). When observers are installed, every
+/// transactional field access and every attempt boundary (begin / commit /
+/// abort, driven by Stm::RunAtomically) is reported to each of them, in
+/// installation order. The hot-path guard is a single relaxed load of a
+/// global counter — zero in normal runs, so benchmark numbers are
+/// unaffected unless observation was explicitly requested.
+/// Install/remove only while no transactions are in flight; observers
+/// themselves must be thread-safe (they are called concurrently from every
 /// worker).
 class TxObserver {
  public:
@@ -174,38 +272,154 @@ class TxObserver {
   /// A new attempt started on the calling thread (read_only = retry-loop
   /// hint).
   virtual void OnTxBegin(bool read_only) = 0;
-  /// A transactional read; `word` is the raw 64-bit encoding the STM
-  /// returned.
-  virtual void OnTxRead(const TxFieldBase& field, uint64_t word) = 0;
-  /// A transactional write; `word` is the raw 64-bit encoding consumed.
-  virtual void OnTxWrite(const TxFieldBase& field, uint64_t word) = 0;
   /// The attempt committed; called after the commit point, on the
   /// committing thread, before control returns to the operation.
   virtual void OnTxCommit() = 0;
-  /// The attempt aborted.
-  virtual void OnTxAbort() = 0;
+  /// The attempt aborted; `info` carries the backend-reported cause and
+  /// conflict key (kUnknown/null when the site did not annotate).
+  virtual void OnTxAbort(const TxAbortInfo& info) = 0;
+
+  /// A transactional read; `word` is the raw 64-bit encoding the STM
+  /// returned.
+  virtual void OnTxRead(const TxFieldBase& field, uint64_t word) {
+    (void)field;
+    (void)word;
+  }
+  /// A transactional write; `word` is the raw 64-bit encoding consumed.
+  virtual void OnTxWrite(const TxFieldBase& field, uint64_t word) {
+    (void)field;
+    (void)word;
+  }
   /// A field was constructed (word = its initial value). Needed because
   /// field addresses are recycled: a node freed through EBR and a node
   /// later allocated at the same address are different logical locations,
   /// and the birth event is what re-grounds the address in a recorded
   /// history.
-  virtual void OnFieldBirth(const TxFieldBase& field, uint64_t word) = 0;
+  virtual void OnFieldBirth(const TxFieldBase& field, uint64_t word) {
+    (void)field;
+    (void)word;
+  }
   /// A raw (non-transactional) store. Inside a transaction this is either
   /// pre-publication seeding of a private object or STM writeback of
   /// already recorded values; both are safely treated as writes of the
   /// enclosing transaction.
-  virtual void OnRawStore(const TxFieldBase& field, uint64_t word) = 0;
+  virtual void OnRawStore(const TxFieldBase& field, uint64_t word) {
+    (void)field;
+    (void)word;
+  }
+  /// A backend validation pass finished on the calling thread; `steps` is
+  /// the number of read-set entries re-checked.
+  virtual void OnTxValidation(size_t steps) { (void)steps; }
+  /// The calling thread is about to back off before retry `attempt` (>= 1).
+  virtual void OnTxBackoff(int attempt) { (void)attempt; }
+  /// Latency decomposition of the attempt that just ended. Only fired when
+  /// TxTimingEnabled(); precedes the matching OnTxCommit/OnTxAbort.
+  virtual void OnTxAttemptTiming(const TxAttemptTiming& timing, bool committed) {
+    (void)timing;
+    (void)committed;
+  }
 };
 
-inline std::atomic<TxObserver*> g_tx_observer{nullptr};
+/// Fixed-capacity observer registry. The count is the publication point:
+/// slots [0, count) are fully written before the count that exposes them is
+/// stored, so dispatch needs no lock. The capacity is deliberately tiny —
+/// an observer is a whole measurement subsystem (oracle, tracer), not a
+/// callback list.
+inline constexpr int kMaxTxObservers = 4;
 
-inline TxObserver* CurrentTxObserver() {
-  return g_tx_observer.load(std::memory_order_relaxed);
+namespace internal {
+inline std::atomic<int> g_tx_observer_count{0};
+inline std::atomic<TxObserver*> g_tx_observers[kMaxTxObservers]{};
+inline std::mutex g_tx_observer_mutex;
+}  // namespace internal
+
+/// Hot-path guard: one relaxed load, one branch, nothing else when no
+/// observer is installed.
+inline bool HasTxObservers() {
+  return internal::g_tx_observer_count.load(std::memory_order_relaxed) != 0;
 }
-// Returns the previously installed observer (normally null).
-inline TxObserver* InstallTxObserver(TxObserver* observer) {
-  return g_tx_observer.exchange(observer, std::memory_order_acq_rel);
+
+/// Installs `observer` at the end of the list. Returns false (and installs
+/// nothing) when the list is full, the observer is null, or it is already
+/// installed. Only call while no transactions are in flight.
+inline bool InstallTxObserver(TxObserver* observer) {
+  if (observer == nullptr) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(internal::g_tx_observer_mutex);
+  const int count = internal::g_tx_observer_count.load(std::memory_order_relaxed);
+  if (count >= kMaxTxObservers) {
+    return false;
+  }
+  for (int i = 0; i < count; ++i) {
+    if (internal::g_tx_observers[i].load(std::memory_order_relaxed) == observer) {
+      return false;
+    }
+  }
+  internal::g_tx_observers[count].store(observer, std::memory_order_release);
+  internal::g_tx_observer_count.store(count + 1, std::memory_order_release);
+  return true;
 }
+
+/// Removes a previously installed observer, compacting the list. Returns
+/// false when it was not installed. Only call while no transactions are in
+/// flight (compaction is not safe against concurrent dispatch).
+inline bool RemoveTxObserver(TxObserver* observer) {
+  std::lock_guard<std::mutex> lock(internal::g_tx_observer_mutex);
+  const int count = internal::g_tx_observer_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < count; ++i) {
+    if (internal::g_tx_observers[i].load(std::memory_order_relaxed) != observer) {
+      continue;
+    }
+    for (int j = i; j + 1 < count; ++j) {
+      internal::g_tx_observers[j].store(
+          internal::g_tx_observers[j + 1].load(std::memory_order_relaxed),
+          std::memory_order_release);
+    }
+    internal::g_tx_observers[count - 1].store(nullptr, std::memory_order_release);
+    internal::g_tx_observer_count.store(count - 1, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+/// Dispatches `fn(TxObserver&)` to every installed observer, in
+/// installation order. Callers guard with HasTxObservers() so the empty
+/// case stays a single branch.
+template <typename Fn>
+inline void NotifyTxObservers(Fn&& fn) {
+  const int count = internal::g_tx_observer_count.load(std::memory_order_acquire);
+  for (int i = 0; i < count; ++i) {
+    if (TxObserver* observer = internal::g_tx_observers[i].load(std::memory_order_acquire)) {
+      fn(*observer);
+    }
+  }
+}
+
+/// Scoped instrumentation for one backend validation pass. Reports the pass
+/// to observers (OnTxValidation) and, when transaction timing is enabled,
+/// charges its duration to the attempt's validation bucket so
+/// TxAttemptTiming can subtract it from the enclosing body/commit time.
+class TxValidationScope {
+ public:
+  TxValidationScope() : start_(TxTimingEnabled() ? NowNanos() : 0) {}
+  TxValidationScope(const TxValidationScope&) = delete;
+  TxValidationScope& operator=(const TxValidationScope&) = delete;
+  ~TxValidationScope() {
+    if (start_ != 0) {
+      internal::tls_tx_validation_nanos += NowNanos() - start_;
+    }
+    if (HasTxObservers()) {
+      NotifyTxObservers([this](TxObserver& observer) { observer.OnTxValidation(steps_); });
+    }
+  }
+
+  void set_steps(size_t steps) { steps_ = steps; }
+
+ private:
+  int64_t start_;
+  size_t steps_ = 0;
+};
 
 namespace internal {
 // Defined in src/mvstm/version_chain.cc. Frees the head node of a field's
@@ -222,8 +436,9 @@ class TxFieldBase {
  public:
   TxFieldBase(TmUnit& owner, uint64_t initial) : word_(initial), owner_(&owner) {
     index_in_unit_ = owner.RegisterField(this);
-    if (TxObserver* observer = CurrentTxObserver()) {
-      observer->OnFieldBirth(*this, initial);
+    if (HasTxObservers()) {
+      NotifyTxObservers(
+          [&](TxObserver& observer) { observer.OnFieldBirth(*this, initial); });
     }
   }
   TxFieldBase(const TxFieldBase&) = delete;
@@ -246,8 +461,9 @@ class TxFieldBase {
   }
   void StoreRaw(uint64_t value, std::memory_order order = std::memory_order_release) {
     word_.store(value, order);
-    if (TxObserver* observer = CurrentTxObserver()) {
-      observer->OnRawStore(*this, value);
+    if (HasTxObservers()) {
+      NotifyTxObservers(
+          [&](TxObserver& observer) { observer.OnRawStore(*this, value); });
     }
   }
 
@@ -300,8 +516,9 @@ class TxField : public TxFieldBase {
   T Get() const {
     if (Transaction* tx = CurrentTx()) {
       const uint64_t word = tx->Read(*this);
-      if (TxObserver* observer = CurrentTxObserver()) {
-        observer->OnTxRead(*this, word);
+      if (HasTxObservers()) {
+        NotifyTxObservers(
+            [&](TxObserver& observer) { observer.OnTxRead(*this, word); });
       }
       return internal::DecodeWord<T>(word);
     }
@@ -312,8 +529,9 @@ class TxField : public TxFieldBase {
     if (Transaction* tx = CurrentTx()) {
       const uint64_t word = internal::EncodeWord(value);
       tx->Write(*this, word);
-      if (TxObserver* observer = CurrentTxObserver()) {
-        observer->OnTxWrite(*this, word);
+      if (HasTxObservers()) {
+        NotifyTxObservers(
+            [&](TxObserver& observer) { observer.OnTxWrite(*this, word); });
       }
     } else {
       StoreRaw(internal::EncodeWord(value));

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "src/common/diag.h"
+#include "src/stm/lock_table.h"
 
 namespace sb7 {
 namespace {
@@ -43,15 +44,24 @@ void NorecTx::FlushLocalStats() {
 uint64_t NorecTx::Validate() {
   while (true) {
     const uint64_t before = WaitForEvenClock();
+    TxValidationScope validation;
+    validation.set_steps(read_log_.size());
     local_validation_steps_ += static_cast<int64_t>(read_log_.size());
     bool consistent = true;
+    const TxFieldBase* conflicting = nullptr;
     for (const ReadEntry& entry : read_log_) {
       if (entry.field->LoadRaw(std::memory_order_acquire) != entry.value) {
         consistent = false;
+        conflicting = entry.field;
         break;
       }
     }
     if (!consistent) {
+      // NOrec has no per-location metadata of its own; key the conflict by
+      // the field's lock-table stripe so attribution shares the word-STM
+      // key space.
+      SetTxAbortCause(AbortCause::kReadValidation,
+                      &LockTable::Global().StripeOf(*conflicting));
       throw TxAborted{};
     }
     // Values matched; the snapshot is only coherent if no writer committed

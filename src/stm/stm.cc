@@ -1,5 +1,6 @@
 #include "src/stm/stm.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -100,53 +101,123 @@ void Stm::RunAtomically(const std::function<void(Transaction&)>& body, bool read
     stats_.ro_starts.fetch_add(1, std::memory_order_relaxed);
   }
   for (int attempt = 0;; ++attempt) {
-    Backoff::Pause(attempt);
+    // `timing` is re-sampled per attempt but effectively run-constant (the
+    // flag only flips while no transactions are in flight). When off, the
+    // loop takes no timestamps at all.
+    const bool timing = TxTimingEnabled();
+    int64_t backoff_nanos = 0;
+    if (attempt > 0 && HasTxObservers()) {
+      NotifyTxObservers([&](TxObserver& observer) { observer.OnTxBackoff(attempt); });
+    }
+    if (timing) {
+      const int64_t backoff_start = NowNanos();
+      Backoff::Pause(attempt);
+      backoff_nanos = NowNanos() - backoff_start;
+    } else {
+      Backoff::Pause(attempt);
+    }
     // Observed before BeginAttempt so the recorded begin event precedes any
     // attempt state (e.g. the TL2-family clock read): the attempt's
     // serialization point then provably lies inside its recorded
     // [begin, commit] interval, which the opacity checker's search exploits.
-    if (TxObserver* observer = CurrentTxObserver()) {
-      observer->OnTxBegin(read_only);
+    if (HasTxObservers()) {
+      NotifyTxObservers([&](TxObserver& observer) { observer.OnTxBegin(read_only); });
     }
     tx.BeginAttempt();
     SetCurrentTx(&tx);
+    if (timing) {
+      internal::tls_tx_validation_nanos = 0;
+    }
+    const int64_t body_start = timing ? NowNanos() : 0;
+    // Timing landmarks for the attempt; filled in as the attempt unwinds.
+    // body_validation is the validation time spent inside the body, so the
+    // commit bucket can be charged only the validation done during TryCommit.
+    int64_t body_end = 0;
+    int64_t body_validation = 0;
+    int64_t commit_end = 0;
+    const auto emit_timing = [&](bool committed) {
+      if (!timing || !HasTxObservers()) {
+        return;
+      }
+      TxAttemptTiming t;
+      t.backoff_nanos = backoff_nanos;
+      t.validation_nanos = internal::tls_tx_validation_nanos;
+      t.read_nanos = std::max<int64_t>(0, (body_end - body_start) - body_validation);
+      t.commit_nanos = std::max<int64_t>(
+          0, (commit_end - body_end) -
+                 (internal::tls_tx_validation_nanos - body_validation));
+      NotifyTxObservers(
+          [&](TxObserver& observer) { observer.OnTxAttemptTiming(t, committed); });
+    };
     try {
       body(tx);
       SetCurrentTx(nullptr);
+      if (timing) {
+        body_end = NowNanos();
+        body_validation = internal::tls_tx_validation_nanos;
+      }
       if (tx.TryCommit()) {
         stats_.commits.fetch_add(1, std::memory_order_relaxed);
         if (read_only) {
           stats_.ro_commits.fetch_add(1, std::memory_order_relaxed);
         }
-        if (TxObserver* observer = CurrentTxObserver()) {
-          observer->OnTxCommit();
+        if (HasTxObservers()) {
+          if (timing) {
+            commit_end = NowNanos();
+          }
+          emit_timing(true);
+          NotifyTxObservers([&](TxObserver& observer) { observer.OnTxCommit(); });
         }
         return;
+      }
+      if (timing) {
+        commit_end = NowNanos();
       }
     } catch (const TxAborted&) {
       SetCurrentTx(nullptr);
       tx.AbortSelf();
+      if (timing) {
+        // The body threw mid-flight: everything until now is body time.
+        body_end = NowNanos();
+        body_validation = internal::tls_tx_validation_nanos;
+        commit_end = body_end;
+      }
     } catch (...) {
       // Operation-level failure: commit what was read so the failure is based
       // on a consistent snapshot, then propagate it.
       SetCurrentTx(nullptr);
+      if (timing) {
+        body_end = NowNanos();
+        body_validation = internal::tls_tx_validation_nanos;
+      }
       if (tx.TryCommit()) {
         stats_.commits.fetch_add(1, std::memory_order_relaxed);
         if (read_only) {
           stats_.ro_commits.fetch_add(1, std::memory_order_relaxed);
         }
-        if (TxObserver* observer = CurrentTxObserver()) {
-          observer->OnTxCommit();
+        if (HasTxObservers()) {
+          if (timing) {
+            commit_end = NowNanos();
+          }
+          emit_timing(true);
+          NotifyTxObservers([&](TxObserver& observer) { observer.OnTxCommit(); });
         }
         throw;
+      }
+      if (timing) {
+        commit_end = NowNanos();
       }
     }
     stats_.aborts.fetch_add(1, std::memory_order_relaxed);
     if (read_only) {
       stats_.ro_aborts.fetch_add(1, std::memory_order_relaxed);
     }
-    if (TxObserver* observer = CurrentTxObserver()) {
-      observer->OnTxAbort();
+    const TxAbortInfo abort_info = ConsumeTxAbortInfo();
+    stats_.AddAbortCause(abort_info.cause);
+    if (HasTxObservers()) {
+      emit_timing(false);
+      NotifyTxObservers(
+          [&](TxObserver& observer) { observer.OnTxAbort(abort_info); });
     }
   }
 }

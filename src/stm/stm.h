@@ -23,44 +23,112 @@
 
 namespace sb7 {
 
+/// X-macro over every StmStats counter — the single source of truth for the
+/// counter set. Snapshot/Reset/View and the Subtract/Add helpers are all
+/// generated from this list, so a counter added here can never again be
+/// silently dropped from per-phase deltas (src/harness/driver.cc) or sweep
+/// aggregation (src/perf/runner.cc).
+///
+/// Counter semantics:
+///   starts/commits/aborts      — attempt outcomes from the retry loop.
+///   reads/writes               — transactional field accesses.
+///   validation_steps           — read-set entries re-checked during
+///                                incremental validation; the O(k^2)
+///                                signature of invisible-read STMs.
+///   bytes_cloned               — object-granular write-open cloning (ASTM).
+///   kills                      — transactions aborted by a contention
+///                                manager on behalf of another.
+///   ro_starts/commits/aborts   — transactions run with the read-only hint
+///                                (the snapshot path under mvstm); ro_aborts
+///                                staying at zero under concurrent writers
+///                                is the defining property of the
+///                                multi-version backend.
+///   aborts_*                   — `aborts` bucketed by backend-reported
+///                                AbortCause; aborts_unknown counts aborts
+///                                whose site carried no annotation.
+#define SB7_STM_STATS_FIELDS(X) \
+  X(starts)                     \
+  X(commits)                    \
+  X(aborts)                     \
+  X(reads)                      \
+  X(writes)                     \
+  X(validation_steps)           \
+  X(bytes_cloned)               \
+  X(kills)                      \
+  X(ro_starts)                  \
+  X(ro_commits)                 \
+  X(ro_aborts)                  \
+  X(aborts_read_validation)     \
+  X(aborts_write_lock)          \
+  X(aborts_kill)                \
+  X(aborts_snapshot_too_old)    \
+  X(aborts_unknown)
+
 /// Aggregate counters, written by transactions at commit/abort boundaries.
 /// Each hot counter sits on its own cache line: worker threads bump
 /// different counters concurrently, and false sharing here measurably
 /// perturbs the very throughput numbers the harness exists to report.
 struct StmStats {
-  alignas(64) std::atomic<int64_t> starts{0};
-  alignas(64) std::atomic<int64_t> commits{0};
-  alignas(64) std::atomic<int64_t> aborts{0};
-  alignas(64) std::atomic<int64_t> reads{0};
-  alignas(64) std::atomic<int64_t> writes{0};
-  // Read-set entries re-checked during incremental validation; the O(k^2)
-  // signature of invisible-read STMs shows up here.
-  alignas(64) std::atomic<int64_t> validation_steps{0};
-  // Bytes copied by object-granular write-open cloning (ASTM only).
-  alignas(64) std::atomic<int64_t> bytes_cloned{0};
-  // Transactions aborted by a contention manager on behalf of another.
-  alignas(64) std::atomic<int64_t> kills{0};
-  // Transactions executed with the read-only hint (the snapshot path under
-  // mvstm). ro_aborts staying at zero under concurrent writers is the
-  // defining property of the multi-version backend.
-  alignas(64) std::atomic<int64_t> ro_starts{0};
-  alignas(64) std::atomic<int64_t> ro_commits{0};
-  alignas(64) std::atomic<int64_t> ro_aborts{0};
+#define SB7_STM_STATS_DECLARE(name) alignas(64) std::atomic<int64_t> name{0};
+  SB7_STM_STATS_FIELDS(SB7_STM_STATS_DECLARE)
+#undef SB7_STM_STATS_DECLARE
 
   struct View {
-    int64_t starts, commits, aborts, reads, writes, validation_steps, bytes_cloned, kills;
-    int64_t ro_starts, ro_commits, ro_aborts;
+#define SB7_STM_STATS_VIEW_FIELD(name) int64_t name = 0;
+    SB7_STM_STATS_FIELDS(SB7_STM_STATS_VIEW_FIELD)
+#undef SB7_STM_STATS_VIEW_FIELD
+
+    /// a - b, field-wise. The per-phase delta helper.
+    static View Subtract(const View& a, const View& b) {
+      View diff;
+#define SB7_STM_STATS_SUB_FIELD(name) diff.name = a.name - b.name;
+      SB7_STM_STATS_FIELDS(SB7_STM_STATS_SUB_FIELD)
+#undef SB7_STM_STATS_SUB_FIELD
+      return diff;
+    }
+    /// a + b, field-wise. The sweep-aggregation helper.
+    static View Add(const View& a, const View& b) {
+      View sum;
+#define SB7_STM_STATS_ADD_FIELD(name) sum.name = a.name + b.name;
+      SB7_STM_STATS_FIELDS(SB7_STM_STATS_ADD_FIELD)
+#undef SB7_STM_STATS_ADD_FIELD
+      return sum;
+    }
   };
+
   View Snapshot() const {
-    return View{starts.load(),       commits.load(),    aborts.load(),
-                reads.load(),        writes.load(),     validation_steps.load(),
-                bytes_cloned.load(), kills.load(),      ro_starts.load(),
-                ro_commits.load(),   ro_aborts.load()};
+    View view;
+#define SB7_STM_STATS_LOAD_FIELD(name) view.name = name.load();
+    SB7_STM_STATS_FIELDS(SB7_STM_STATS_LOAD_FIELD)
+#undef SB7_STM_STATS_LOAD_FIELD
+    return view;
   }
+
   void Reset() {
-    starts = commits = aborts = reads = writes = 0;
-    validation_steps = bytes_cloned = kills = 0;
-    ro_starts = ro_commits = ro_aborts = 0;
+#define SB7_STM_STATS_RESET_FIELD(name) name = 0;
+    SB7_STM_STATS_FIELDS(SB7_STM_STATS_RESET_FIELD)
+#undef SB7_STM_STATS_RESET_FIELD
+  }
+
+  /// Bumps the per-cause abort bucket matching `cause`.
+  void AddAbortCause(AbortCause cause) {
+    switch (cause) {
+      case AbortCause::kReadValidation:
+        aborts_read_validation.fetch_add(1, std::memory_order_relaxed);
+        return;
+      case AbortCause::kWriteLock:
+        aborts_write_lock.fetch_add(1, std::memory_order_relaxed);
+        return;
+      case AbortCause::kKill:
+        aborts_kill.fetch_add(1, std::memory_order_relaxed);
+        return;
+      case AbortCause::kSnapshotTooOld:
+        aborts_snapshot_too_old.fetch_add(1, std::memory_order_relaxed);
+        return;
+      case AbortCause::kUnknown:
+        break;
+    }
+    aborts_unknown.fetch_add(1, std::memory_order_relaxed);
   }
 };
 

@@ -22,6 +22,8 @@ void TinyTx::FlushLocalStats() {
 }
 
 bool TinyTx::ValidateReadSet() const {
+  TxValidationScope validation;
+  validation.set_steps(read_set_.size());
   local_validation_steps_ += static_cast<int64_t>(read_set_.size());
   for (const ReadEntry& entry : read_set_) {
     const uint64_t word = entry.stripe->load(std::memory_order_acquire);
@@ -33,6 +35,7 @@ bool TinyTx::ValidateReadSet() const {
     if (LockTable::IsLocked(word) && LockTable::OwnerOf(word) == this) {
       continue;
     }
+    SetTxAbortCause(AbortCause::kReadValidation, entry.stripe);
     return false;
   }
   return true;
@@ -57,6 +60,7 @@ uint64_t TinyTx::Read(const TxFieldBase& field) {
         // value.
         return field.LoadRaw(std::memory_order_acquire);
       }
+      SetTxAbortCause(AbortCause::kWriteLock, &stripe);
       throw TxAborted{};  // owned by a concurrent writer
     }
     const uint64_t value = field.LoadRaw(std::memory_order_acquire);
@@ -65,6 +69,7 @@ uint64_t TinyTx::Read(const TxFieldBase& field) {
       continue;  // raced with a commit; re-read
     }
     if (LockTable::VersionOf(pre) > rv_ && !ExtendSnapshot(LockTable::ClockNow())) {
+      // Cause and conflict key were set by ValidateReadSet.
       throw TxAborted{};
     }
     read_set_.push_back(ReadEntry{&stripe, pre});
@@ -80,13 +85,16 @@ void TinyTx::Write(TxFieldBase& field, uint64_t value) {
     if (LockTable::IsLocked(word)) {
       // Either a concurrent writer owns it, or this transaction does (which
       // OwnsStripe already ruled out).
+      SetTxAbortCause(AbortCause::kWriteLock, &stripe);
       throw TxAborted{};
     }
     if (LockTable::VersionOf(word) > rv_ && !ExtendSnapshot(LockTable::ClockNow())) {
+      // Cause and conflict key were set by ValidateReadSet.
       throw TxAborted{};
     }
     if (!stripe.compare_exchange_strong(word, LockTable::MakeLocked(this),
                                         std::memory_order_acq_rel)) {
+      SetTxAbortCause(AbortCause::kWriteLock, &stripe);
       throw TxAborted{};
     }
     owned_.push_back(OwnedStripe{&stripe, word});

@@ -38,6 +38,7 @@ uint64_t Tl2Tx::Read(const TxFieldBase& field) {
   if (LockTable::IsLocked(pre) || pre != post || LockTable::VersionOf(pre) > rv_) {
     // Location is being written, or was written after this transaction's
     // snapshot point: the snapshot cannot be extended in plain TL2.
+    SetTxAbortCause(AbortCause::kReadValidation, &stripe);
     throw TxAborted{};
   }
   read_set_.push_back(&stripe);
@@ -72,6 +73,7 @@ bool Tl2Tx::AcquireWriteStripes() {
     if (LockTable::IsLocked(word) ||
         !stripe->compare_exchange_strong(word, LockTable::MakeLocked(this),
                                          std::memory_order_acq_rel)) {
+      SetTxAbortCause(AbortCause::kWriteLock, stripe);
       ReleaseAcquired(0, /*use_saved=*/true);
       return false;
     }
@@ -89,12 +91,15 @@ void Tl2Tx::ReleaseAcquired(uint64_t unlock_version, bool use_saved) {
 }
 
 bool Tl2Tx::ValidateReadSet() {
+  TxValidationScope validation;
+  validation.set_steps(read_set_.size());
   local_validation_steps_ += static_cast<int64_t>(read_set_.size());
   for (const std::atomic<uint64_t>* stripe : read_set_) {
     const uint64_t word = stripe->load(std::memory_order_acquire);
     uint64_t effective = word;
     if (LockTable::IsLocked(word)) {
       if (LockTable::OwnerOf(word) != this) {
+        SetTxAbortCause(AbortCause::kReadValidation, stripe);
         return false;
       }
       // Locked by this transaction's own commit: the stripe must still be
@@ -111,6 +116,7 @@ bool Tl2Tx::ValidateReadSet() {
       effective = it->saved_word;
     }
     if (LockTable::VersionOf(effective) > rv_) {
+      SetTxAbortCause(AbortCause::kReadValidation, stripe);
       return false;
     }
   }

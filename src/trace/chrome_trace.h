@@ -1,0 +1,36 @@
+/// \file
+/// Chrome trace-event JSON export (Perfetto-loadable).
+///
+/// Converts drained tracer streams into the trace-event format: one track
+/// per worker thread (thread-name metadata + complete "X" spans per
+/// transaction attempt, closed by its commit/abort event), instant events
+/// for validation passes and backoff waits. Abort spans are named and
+/// colored by cause, so retry chains read directly off the timeline.
+/// Load the file at https://ui.perfetto.dev or chrome://tracing.
+
+#ifndef STMBENCH7_SRC_TRACE_CHROME_TRACE_H_
+#define STMBENCH7_SRC_TRACE_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/trace/tracer.h"
+
+namespace sb7::trace {
+
+struct ChromeTraceOptions {
+  /// Operation names in registry order; events with op index i are labeled
+  /// op_names[i]. Events without op context are labeled "(no-op)".
+  std::vector<std::string> op_names;
+};
+
+/// Writes the full trace document: {"displayTimeUnit", "traceEvents",
+/// "otherData"}. Timestamps are microseconds relative to the earliest event
+/// in any stream.
+void WriteChromeTrace(std::ostream& out, const std::vector<Tracer::ThreadStream>& streams,
+                      const ChromeTraceOptions& options);
+
+}  // namespace sb7::trace
+
+#endif  // STMBENCH7_SRC_TRACE_CHROME_TRACE_H_

@@ -1,0 +1,85 @@
+#include "src/trace/conflict.h"
+
+#include <algorithm>
+
+namespace sb7::trace {
+
+ConflictTable::Snapshot ConflictTable::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.bucket_aborts.resize(kBuckets);
+  snapshot.bucket_keys.resize(kBuckets);
+  snapshot.pair_counts.resize(kConflictOpSlots * kConflictOpSlots);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snapshot.bucket_aborts[i] = buckets_[i].aborts.load(std::memory_order_relaxed);
+    snapshot.bucket_keys[i] = buckets_[i].key.load(std::memory_order_relaxed);
+  }
+  for (int i = 0; i < kConflictOpSlots * kConflictOpSlots; ++i) {
+    snapshot.pair_counts[i] = pairs_[i].load(std::memory_order_relaxed);
+  }
+  snapshot.total_aborts = total_aborts_.load(std::memory_order_relaxed);
+  snapshot.attributed_aborts = attributed_aborts_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+ConflictTable::Snapshot ConflictTable::Delta(const Snapshot& end, const Snapshot& begin) {
+  Snapshot delta = end;
+  if (!begin.bucket_aborts.empty()) {
+    for (size_t i = 0; i < delta.bucket_aborts.size(); ++i) {
+      delta.bucket_aborts[i] -= begin.bucket_aborts[i];
+    }
+    for (size_t i = 0; i < delta.pair_counts.size(); ++i) {
+      delta.pair_counts[i] -= begin.pair_counts[i];
+    }
+    delta.total_aborts -= begin.total_aborts;
+    delta.attributed_aborts -= begin.attributed_aborts;
+  }
+  return delta;
+}
+
+ConflictSummary SummarizeConflicts(const ConflictTable::Snapshot& snapshot, size_t top_k) {
+  ConflictSummary summary;
+  summary.total_aborts = snapshot.total_aborts;
+  summary.attributed_aborts = snapshot.attributed_aborts;
+
+  for (size_t i = 0; i < snapshot.bucket_aborts.size(); ++i) {
+    if (snapshot.bucket_aborts[i] > 0) {
+      summary.top_locations.push_back(
+          ConflictHotLocation{snapshot.bucket_keys[i], snapshot.bucket_aborts[i]});
+    }
+  }
+  std::sort(summary.top_locations.begin(), summary.top_locations.end(),
+            [](const ConflictHotLocation& a, const ConflictHotLocation& b) {
+              return a.aborts != b.aborts ? a.aborts > b.aborts : a.key < b.key;
+            });
+  if (summary.top_locations.size() > top_k) {
+    summary.top_locations.resize(top_k);
+  }
+
+  // A default-constructed snapshot (a window that never opened, e.g. a
+  // scenario phase the run's op cap skipped) has empty vectors and
+  // summarizes to zeros.
+  if (!snapshot.pair_counts.empty()) {
+    for (int victim = 0; victim < kConflictOpSlots; ++victim) {
+      for (int writer = 0; writer < kConflictOpSlots; ++writer) {
+        const int64_t count = snapshot.pair_counts[victim * kConflictOpSlots + writer];
+        if (count > 0) {
+          summary.top_pairs.push_back(ConflictPair{victim, writer, count});
+        }
+      }
+    }
+  }
+  std::sort(summary.top_pairs.begin(), summary.top_pairs.end(),
+            [](const ConflictPair& a, const ConflictPair& b) {
+              if (a.aborts != b.aborts) {
+                return a.aborts > b.aborts;
+              }
+              return a.victim_slot != b.victim_slot ? a.victim_slot < b.victim_slot
+                                                    : a.writer_slot < b.writer_slot;
+            });
+  if (summary.top_pairs.size() > top_k) {
+    summary.top_pairs.resize(top_k);
+  }
+  return summary;
+}
+
+}  // namespace sb7::trace

@@ -295,10 +295,11 @@ TEST(ReportTest, CsvHasMetadataRowsAndTotal) {
   std::ostringstream out;
   WriteCsv(out, runner, result);
   const std::string text = out.str();
-  EXPECT_NE(text.find("# schema=2"), std::string::npos);
+  EXPECT_NE(text.find("# schema=3"), std::string::npos);
   EXPECT_NE(text.find("# strategy=tinystm"), std::string::npos);
   EXPECT_NE(text.find("# throughput_success="), std::string::npos);
   EXPECT_NE(text.find("# stm_commits="), std::string::npos);
+  EXPECT_NE(text.find("# stm_aborts_read_validation="), std::string::npos);
   // Schema 2 keeps the schema-1 column prefix and appends p99.9 and the
   // started-throughput column.
   EXPECT_NE(text.find("op,category,read_only,ratio,completed,failed,max_ms,mean_ms,p50_ms,"

@@ -341,12 +341,54 @@ TEST(BenchJsonGoldenTest, PerCellStatsKeySetIsPinned) {
             (std::set<std::string>{"op", "max_ms_median", "max_ms_min", "max_ms_max"}));
   EXPECT_EQ(probes->Items()[0].Find("op")->AsString(), "ST1");
 
-  // STM block: same counter key set as the harness JSON report.
+  // STM block: same counter key set as the harness JSON report. Schema 2
+  // added the abort_causes breakdown.
   EXPECT_EQ(KeysOf(*tl2.Find("stm")),
             (std::set<std::string>{"starts", "commits", "aborts", "reads", "writes",
                                    "validation_steps", "bytes_cloned", "kills", "ro_starts",
-                                   "ro_commits", "ro_aborts"}));
+                                   "ro_commits", "ro_aborts", "abort_causes"}));
   EXPECT_GT(tl2.Find("stm")->Find("commits")->AsNumber(), 0.0);
+  EXPECT_EQ(KeysOf(*tl2.Find("stm")->Find("abort_causes")),
+            (std::set<std::string>{"read_validation", "write_lock", "kill",
+                                   "snapshot_too_old", "unknown"}));
+
+  // Untraced cells carry no conflicts block.
+  EXPECT_EQ(tl2.Find("conflicts"), nullptr);
+}
+
+TEST(BenchJsonGoldenTest, TracedCellsAppendThePinnedConflictsBlock) {
+  SweepSpec spec;
+  spec.name = "golden-traced";
+  spec.backends = {"tl2"};
+  spec.threads = {1};
+  spec.workloads = {"w"};
+  spec.scales = {"tiny"};
+  spec.seconds = 0.05;
+  spec.warmup = 0.0;
+  spec.reps = 1;
+  spec.max_ops = 200;
+  ASSERT_EQ(spec.Validate(), "");
+  SweepRunOptions options;
+  options.trace_cells = true;
+  const SweepRunOutcome outcome = RunSweep(spec, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+
+  std::ostringstream out;
+  WriteSweepJson(out, outcome.result);
+  const JsonParseResult parsed = ParseJson(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const JsonValue* cells = parsed.value.Find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->Items().size(), 1u);
+  const JsonValue* conflicts = cells->Items()[0].Find("conflicts");
+  ASSERT_NE(conflicts, nullptr) << "--trace-cells cells must carry the conflicts block";
+  EXPECT_EQ(KeysOf(*conflicts),
+            (std::set<std::string>{"total_aborts", "attributed_aborts", "dropped_events",
+                                   "top_locations", "top_pairs"}));
+  // A single-threaded run has no conflicts to attribute, but the block's
+  // shape (and the zeros) must still be present and parseable.
+  EXPECT_GE(conflicts->Find("total_aborts")->AsNumber(), 0.0);
+  ASSERT_TRUE(conflicts->Find("top_pairs")->is_array());
 }
 
 // ---------------------------------------------------------------- compare --
@@ -465,9 +507,48 @@ TEST(CompareTest, LoadBaselineRejectsGarbageAndWrongSchema) {
   EXPECT_FALSE(LoadBaseline(R"({"schema": 99, "sweep": "x", "metric": "throughput",
                                "cells": []})")
                    .ok());
+  EXPECT_FALSE(LoadBaseline(R"({"schema": 0, "sweep": "x", "metric": "throughput",
+                               "cells": []})")
+                   .ok());
+  // Every schema in [1, current] stays loadable: old artifacts keep gating
+  // new builds.
   EXPECT_TRUE(LoadBaseline(R"({"schema": 1, "sweep": "x", "metric": "throughput",
                               "cells": []})")
                   .ok());
+  EXPECT_TRUE(LoadBaseline(R"({"schema": 2, "sweep": "x", "metric": "throughput",
+                              "cells": []})")
+                  .ok());
+}
+
+TEST(CompareTest, ConflictCountersRideAlongAsInformationalNotes) {
+  const char* with_conflicts = R"({"schema": 2, "sweep": "x", "metric": "throughput",
+    "cells": [{"key": "c", "throughput_median": 100.0,
+               "conflicts": {"total_aborts": 12, "attributed_aborts": 9}}]})";
+  const BaselineLoadResult loaded = LoadBaseline(with_conflicts);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  const BaselineCell& cell = loaded.baseline.cells.at("c");
+  EXPECT_EQ(cell.conflict_total_aborts, 12.0);
+  EXPECT_EQ(cell.conflict_attributed_aborts, 9.0);
+
+  // Both sides traced: the abort context appears as a note, never a gate.
+  const CompareReport both = CompareSweeps(loaded.baseline, loaded.baseline, 0.15);
+  EXPECT_TRUE(both.ok());
+  bool saw_abort_note = false;
+  for (const std::string& note : both.notes) {
+    saw_abort_note = saw_abort_note || note.rfind("aborts ", 0) == 0;
+  }
+  EXPECT_TRUE(saw_abort_note);
+
+  // One side untraced (schema-1 artifact): no abort note, and still no gate.
+  const BaselineLoadResult plain =
+      LoadBaseline(R"({"schema": 1, "sweep": "x", "metric": "throughput",
+        "cells": [{"key": "c", "throughput_median": 100.0}]})");
+  ASSERT_TRUE(plain.ok()) << plain.error;
+  const CompareReport mixed = CompareSweeps(plain.baseline, loaded.baseline, 0.15);
+  EXPECT_TRUE(mixed.ok());
+  for (const std::string& note : mixed.notes) {
+    EXPECT_NE(note.rfind("aborts ", 0), 0u) << note;
+  }
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 // Golden-output tests pinning the machine-readable report formats: the CSV
-// schema=2 layout (metadata keys, column headers, row shapes, the TOTAL row
+// schema=3 layout (metadata keys, column headers, row shapes, the TOTAL row
 // and the per-phase section) and the JSON document (key set, nesting, and
 // syntactic well-formedness). Report refactors that would silently break
 // downstream parsers must fail here first — and bumping the schema must be a
@@ -57,7 +57,7 @@ int64_t CountChar(const std::string& text, char c) {
   return n;
 }
 
-// The schema=2 contract, verbatim. Changing either string is a schema bump.
+// The schema=3 contract, verbatim. Changing either string is a schema bump.
 constexpr const char* kOpHeader =
     "op,category,read_only,ratio,completed,failed,max_ms,mean_ms,p50_ms,p90_ms,p99_ms,"
     "p999_ms,started_per_s";
@@ -65,9 +65,11 @@ constexpr const char* kPhaseHeader =
     "phase,arrival,threads,read_fraction,zipf_theta,elapsed_s,completed,failed,"
     "ops_per_s,started_per_s,target_rate,arrivals,delayed,backlog_peak,"
     "qd_p50_ms,qd_p90_ms,qd_p99_ms,qd_p999_ms,qd_max_ms,"
-    "stm_commits,stm_aborts,stm_ro_aborts,hot_hits,hot_samples";
+    "stm_commits,stm_aborts,stm_ro_aborts,stm_validation_steps,stm_kills,"
+    "stm_aborts_read_validation,stm_aborts_write_lock,stm_aborts_kill,"
+    "stm_aborts_snapshot_too_old,hot_hits,hot_samples";
 
-TEST(CsvGoldenTest, Schema2MetadataKeysAndColumnLayoutArePinned) {
+TEST(CsvGoldenTest, Schema3MetadataKeysAndColumnLayoutArePinned) {
   const BenchmarkRunner* runner = nullptr;
   const BenchResult& result = GoldenResult(&runner);
   std::ostringstream out;
@@ -81,7 +83,9 @@ TEST(CsvGoldenTest, Schema2MetadataKeysAndColumnLayoutArePinned) {
       "workload",        "threads",            "seed",
       "elapsed_seconds", "throughput_success", "throughput_started",
       "stm_commits",     "stm_aborts",         "stm_validation_steps",
-      "stm_bytes_cloned", "stm_ro_aborts"};
+      "stm_bytes_cloned", "stm_ro_aborts",     "stm_kills",
+      "stm_aborts_read_validation", "stm_aborts_write_lock", "stm_aborts_kill",
+      "stm_aborts_snapshot_too_old", "stm_aborts_unknown"};
   size_t line_index = 0;
   for (const std::string& key : expected_keys) {
     ASSERT_LT(line_index, lines.size());
@@ -91,7 +95,7 @@ TEST(CsvGoldenTest, Schema2MetadataKeysAndColumnLayoutArePinned) {
     ASSERT_NE(eq, std::string::npos) << line;
     EXPECT_EQ(line.substr(2, eq - 2), key);
   }
-  EXPECT_EQ(lines[0], "# schema=2");
+  EXPECT_EQ(lines[0], "# schema=3");
 
   // Column header and row shapes.
   EXPECT_EQ(lines[line_index], kOpHeader);
@@ -130,7 +134,7 @@ TEST(CsvGoldenTest, ScenarioRunsAppendThePinnedPhaseSection) {
   std::ostringstream out;
   WriteCsv(out, runner, result);
   const std::vector<std::string> lines = SplitLines(out.str());
-  EXPECT_EQ(lines[0], "# schema=2");
+  EXPECT_EQ(lines[0], "# schema=3");
   ASSERT_NE(std::find(lines.begin(), lines.end(), "# scenario=golden"), lines.end());
   ASSERT_NE(std::find(lines.begin(), lines.end(), "# phases=2"), lines.end());
 
@@ -231,8 +235,12 @@ TEST(JsonGoldenTest, DocumentIsWellFormedAndKeySetIsPinned) {
                           "started_per_s"}) {
     EXPECT_NE(text.find("\"" + std::string(key) + "\": "), std::string::npos) << key;
   }
-  EXPECT_NE(text.find("\"schema\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": 3"), std::string::npos);
+  EXPECT_NE(text.find("\"abort_causes\""), std::string::npos)
+      << "stm block must carry the abort-cause breakdown";
   EXPECT_EQ(text.find("\"phases\""), std::string::npos) << "plain runs carry no phase block";
+  EXPECT_EQ(text.find("\"trace\""), std::string::npos)
+      << "untraced runs carry no trace block";
 }
 
 TEST(JsonGoldenTest, ScenarioDocumentCarriesThePinnedPhaseBlock) {
