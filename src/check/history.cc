@@ -46,7 +46,7 @@ History HistoryRecorder::TakeHistory() {
   return history;
 }
 
-void HistoryRecorder::OnTxBegin(bool read_only) {
+void HistoryRecorder::OnTxBegin(bool read_only) noexcept {
   ThreadBuffer& buffer = LocalBuffer();
   buffer.owner = this;
   buffer.read_only = read_only;
@@ -54,21 +54,21 @@ void HistoryRecorder::OnTxBegin(bool read_only) {
   buffer.accesses.clear();
 }
 
-void HistoryRecorder::OnTxRead(const TxFieldBase& field, uint64_t word) {
+void HistoryRecorder::OnTxRead(const TxFieldBase& field, uint64_t word) noexcept {
   ThreadBuffer& buffer = LocalBuffer();
   if (buffer.owner == this) {
     buffer.accesses.push_back({reinterpret_cast<uintptr_t>(&field), word, false});
   }
 }
 
-void HistoryRecorder::OnTxWrite(const TxFieldBase& field, uint64_t word) {
+void HistoryRecorder::OnTxWrite(const TxFieldBase& field, uint64_t word) noexcept {
   ThreadBuffer& buffer = LocalBuffer();
   if (buffer.owner == this) {
     buffer.accesses.push_back({reinterpret_cast<uintptr_t>(&field), word, true});
   }
 }
 
-void HistoryRecorder::OnTxCommit() {
+void HistoryRecorder::OnTxCommit() noexcept {
   ThreadBuffer& buffer = LocalBuffer();
   if (buffer.owner != this) {
     return;
@@ -88,7 +88,7 @@ void HistoryRecorder::OnTxCommit() {
   committed_.push_back(std::move(tx));
 }
 
-void HistoryRecorder::OnTxAbort(const TxAbortInfo& /*info*/) {
+void HistoryRecorder::OnTxAbort(const TxAbortInfo& /*info*/) noexcept {
   ThreadBuffer& buffer = LocalBuffer();
   if (buffer.owner == this) {
     buffer.owner = nullptr;
@@ -108,11 +108,11 @@ void HistoryRecorder::NoteNonTransactionalWord(const TxFieldBase& field, uint64_
   bootstrap_[reinterpret_cast<uintptr_t>(&field)] = word;
 }
 
-void HistoryRecorder::OnFieldBirth(const TxFieldBase& field, uint64_t word) {
+void HistoryRecorder::OnFieldBirth(const TxFieldBase& field, uint64_t word) noexcept {
   NoteNonTransactionalWord(field, word);
 }
 
-void HistoryRecorder::OnRawStore(const TxFieldBase& field, uint64_t word) {
+void HistoryRecorder::OnRawStore(const TxFieldBase& field, uint64_t word) noexcept {
   NoteNonTransactionalWord(field, word);
 }
 

@@ -94,17 +94,17 @@ class HistoryRecorder : public TxObserver {
   History TakeHistory();
 
   // TxObserver implementation (called from worker threads).
-  void OnTxBegin(bool read_only) override;
-  void OnTxRead(const TxFieldBase& field, uint64_t word) override;
-  void OnTxWrite(const TxFieldBase& field, uint64_t word) override;
-  void OnTxCommit() override;
-  void OnTxAbort(const TxAbortInfo& info) override;
+  void OnTxBegin(bool read_only) noexcept override;
+  void OnTxRead(const TxFieldBase& field, uint64_t word) noexcept override;
+  void OnTxWrite(const TxFieldBase& field, uint64_t word) noexcept override;
+  void OnTxCommit() noexcept override;
+  void OnTxAbort(const TxAbortInfo& info) noexcept override;
   // Births and raw stores inside an open attempt become writes of that
   // transaction (they are pre-publication seeding of private objects, or STM
   // writeback of values the attempt already logged). Outside any attempt
   // (initial build, direct mode) they land in the history's initial map.
-  void OnFieldBirth(const TxFieldBase& field, uint64_t word) override;
-  void OnRawStore(const TxFieldBase& field, uint64_t word) override;
+  void OnFieldBirth(const TxFieldBase& field, uint64_t word) noexcept override;
+  void OnRawStore(const TxFieldBase& field, uint64_t word) noexcept override;
 
  private:
   struct ThreadBuffer {

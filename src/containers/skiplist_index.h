@@ -37,6 +37,7 @@ class SkipListIndex : public Index<K, V> {
   ~SkipListIndex() override {
     Node* node = head_;
     while (node != nullptr) {
+      // raw-ok: destructor runs after the last transaction.
       Node* next = internal::DecodeWord<Node*>(node->next[0].LoadRaw());
       delete node;
       node = next;
@@ -61,8 +62,8 @@ class SkipListIndex : public Index<K, V> {
     const int height = HeightFor(key);
     auto* fresh = new Node(key, value, height);
     for (int level = 0; level < height; ++level) {
-      // The new node is thread-private until the predecessor links below are
-      // written, so its own links are seeded directly.
+      // raw-ok: the new node is thread-private until the predecessor links
+      // below are written, so its own links are seeded directly.
       fresh->next[level].StoreRaw(
           internal::EncodeWord<Node*>(preds[level]->next[level].Get()));
     }

@@ -28,6 +28,7 @@ class SnapshotIndex : public Index<K, V>, public TmObject {
  public:
   SnapshotIndex() : snapshot_(unit(), new Map()) {}
 
+  // raw-ok: destructor runs after the last transaction; no Tx to route through.
   ~SnapshotIndex() override { delete internal::DecodeWord<const Map*>(snapshot_.LoadRaw()); }
 
   V Lookup(const K& key) const override {
@@ -90,6 +91,7 @@ class SnapshotIndex : public Index<K, V>, public TmObject {
   using Map = std::map<K, V>;
 
   Map* MutableSnapshot() {
+    // raw-ok: direct mode only (no tx in flight; external locks serialize).
     return const_cast<Map*>(internal::DecodeWord<const Map*>(snapshot_.LoadRaw()));
   }
 

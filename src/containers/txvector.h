@@ -34,7 +34,7 @@ class TxVector : public TmObject {
   }
 
   ~TxVector() override {
-    // Destruction implies exclusivity; retired chunks are owned by EBR.
+    // raw-ok: destruction implies exclusivity; retired chunks are owned by EBR.
     delete internal::DecodeWord<Chunk*>(chunk_.LoadRaw());
   }
 

@@ -1,0 +1,140 @@
+#include "src/mc/trace_io.h"
+
+#ifdef SB7_MC
+
+#include <fstream>
+#include <sstream>
+
+namespace sb7::mc {
+namespace {
+
+constexpr char kMagic[] = "sb7-mc-trace v1";
+
+std::optional<sp::OpKind> KindFromName(const std::string& name) {
+  for (int k = 0; k <= static_cast<int>(sp::OpKind::kYield); ++k) {
+    const auto kind = static_cast<sp::OpKind>(k);
+    if (name == sp::OpKindName(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string FormatTrace(const ScheduleTrace& trace, int threads) {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "litmus " << trace.litmus << "\n";
+  out << "threads " << threads << "\n";
+  for (size_t i = 0; i < trace.steps.size(); ++i) {
+    const ScheduleStep& step = trace.steps[i];
+    out << "step " << i << " tid " << step.tid << " kind " << sp::OpKindName(step.op.kind)
+        << " addr " << AddressTag(step.op.addr) << "\n";
+  }
+  if (trace.violation) {
+    out << "result "
+        << (trace.violation.kind == Violation::Kind::kDataRace ? "race" : "uaf") << " "
+        << trace.violation.detail << "\n";
+  } else if (!trace.check_failure.empty()) {
+    out << "result check " << trace.check_failure << "\n";
+  } else {
+    out << "result ok\n";
+  }
+  return out.str();
+}
+
+std::optional<TraceFile> ParseTrace(const std::string& text, std::string* error) {
+  const auto fail = [&](const std::string& message) -> std::optional<TraceFile> {
+    if (error) {
+      *error = message;
+    }
+    return std::nullopt;
+  };
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return fail("missing magic line '" + std::string(kMagic) + "'");
+  }
+  TraceFile file;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "litmus") {
+      fields >> file.litmus;
+    } else if (keyword == "threads") {
+      fields >> file.threads;
+    } else if (keyword == "step") {
+      uint64_t index = 0;
+      std::string tid_kw, kind_kw, addr_kw, kind_name;
+      ReplayStep step;
+      fields >> index >> tid_kw >> step.tid >> kind_kw >> kind_name >> addr_kw >>
+          step.addr_tag;
+      if (!fields || tid_kw != "tid" || kind_kw != "kind" || addr_kw != "addr") {
+        return fail("malformed step at line " + std::to_string(line_no));
+      }
+      if (index != file.steps.size()) {
+        return fail("out-of-order step index at line " + std::to_string(line_no));
+      }
+      const auto kind = KindFromName(kind_name);
+      if (!kind) {
+        return fail("unknown op kind '" + kind_name + "' at line " + std::to_string(line_no));
+      }
+      step.kind = *kind;
+      file.steps.push_back(std::move(step));
+    } else if (keyword == "result") {
+      std::string rest;
+      std::getline(fields, rest);
+      file.result = rest.empty() ? "" : rest.substr(rest.find_first_not_of(' '));
+    } else {
+      return fail("unknown keyword '" + keyword + "' at line " + std::to_string(line_no));
+    }
+  }
+  if (file.litmus.empty()) {
+    return fail("trace names no litmus");
+  }
+  return file;
+}
+
+bool WriteTraceFile(const std::string& path, const ScheduleTrace& trace, int threads,
+                    std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error) {
+      *error = "cannot open " + path + " for writing";
+    }
+    return false;
+  }
+  out << FormatTrace(trace, threads);
+  out.flush();
+  if (!out) {
+    if (error) {
+      *error = "write to " + path + " failed";
+    }
+    return false;
+  }
+  return true;
+}
+
+std::optional<TraceFile> ReadTraceFile(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) {
+      *error = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseTrace(text.str(), error);
+}
+
+}  // namespace sb7::mc
+
+#endif  // SB7_MC

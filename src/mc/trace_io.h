@@ -1,0 +1,57 @@
+/// \file
+/// Replayable schedule traces: text format v1.
+///
+/// A failing exploration emits its schedule as a small text file that
+/// `sb7-mc --replay` feeds back through the scheduler. The format is
+/// line-oriented and diff-friendly — traces are meant to be committed as
+/// pinned regression seeds and pasted into bug reports:
+///
+///     sb7-mc-trace v1
+///     litmus tracer-tls-uaf
+///     threads 2
+///     step 0 tid 1 kind store addr slot_owner
+///     step 1 tid 0 kind load addr slot_owner
+///     ...
+///     result uaf thread 0 load on freed state1
+///
+/// Addresses are written as their symbolic tag when the litmus registered
+/// one (model cells always do), else as the raw pointer. Raw pointers are
+/// process-specific: replay checks tids and op kinds exactly but only
+/// verifies operands with symbolic tags, and reports — rather than
+/// crashes on — any divergence.
+
+#ifndef STMBENCH7_SRC_MC_TRACE_IO_H_
+#define STMBENCH7_SRC_MC_TRACE_IO_H_
+
+#ifdef SB7_MC
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mc/explorer.h"
+
+namespace sb7::mc {
+
+struct TraceFile {
+  std::string litmus;
+  int threads = 0;
+  std::vector<ReplayStep> steps;
+  std::string result;  // free-form outcome line ("ok", "race ...", "uaf ...")
+};
+
+/// Serializes `trace` (with `threads` from its litmus) to format v1.
+std::string FormatTrace(const ScheduleTrace& trace, int threads);
+
+/// Parses format v1. Returns nullopt and fills `error` on malformed input.
+std::optional<TraceFile> ParseTrace(const std::string& text, std::string* error);
+
+/// File helpers; false + `error` on I/O failure.
+bool WriteTraceFile(const std::string& path, const ScheduleTrace& trace, int threads,
+                    std::string* error);
+std::optional<TraceFile> ReadTraceFile(const std::string& path, std::string* error);
+
+}  // namespace sb7::mc
+
+#endif  // SB7_MC
+#endif  // STMBENCH7_SRC_MC_TRACE_IO_H_

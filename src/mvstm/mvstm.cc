@@ -36,6 +36,7 @@ void MvTx::BeginAttempt() {
 }
 
 void MvTx::FlushLocalStats() {
+  // mo: relaxed — StmStats tallies; read only after workers are joined.
   stats_.reads.fetch_add(local_reads_, std::memory_order_relaxed);
   stats_.writes.fetch_add(local_writes_, std::memory_order_relaxed);
   stats_.validation_steps.fetch_add(local_validation_steps_, std::memory_order_relaxed);
@@ -52,7 +53,9 @@ uint64_t MvTx::Read(const TxFieldBase& field) {
       return write_log_[it->second].value;
     }
   }
-  const std::atomic<uint64_t>& stripe = LockTable::Global().StripeOf(field);
+  const sp::AtomicU64& stripe = LockTable::Global().StripeOf(field);
+  // mo: acquire (all three) — seqlock-style bracket around the data read;
+  // pairs with committers' release of the stripe (see Tl2Tx::Read).
   const uint64_t pre = stripe.load(std::memory_order_acquire);
   const uint64_t value = field.LoadRaw(std::memory_order_acquire);
   const uint64_t post = stripe.load(std::memory_order_acquire);
@@ -85,7 +88,7 @@ void MvTx::Write(TxFieldBase& field, uint64_t value) {
 
 bool MvTx::AcquireWriteStripes() {
   // Sorted by address so concurrent committers collide cleanly (see Tl2Tx).
-  std::vector<std::atomic<uint64_t>*> stripes;
+  std::vector<sp::AtomicU64*> stripes;
   stripes.reserve(write_log_.size());
   for (const WriteEntry& entry : write_log_) {
     stripes.push_back(&LockTable::Global().StripeOf(*entry.field));
@@ -94,7 +97,8 @@ bool MvTx::AcquireWriteStripes() {
   stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
 
   acquired_.reserve(stripes.size());
-  for (std::atomic<uint64_t>* stripe : stripes) {
+  for (sp::AtomicU64* stripe : stripes) {
+    // mo: acquire probe, acq_rel CAS — see Tl2Tx::AcquireWriteStripes.
     uint64_t word = stripe->load(std::memory_order_acquire);
     if (LockTable::IsLocked(word) ||
         !stripe->compare_exchange_strong(word, LockTable::MakeLocked(this),
@@ -110,6 +114,8 @@ bool MvTx::AcquireWriteStripes() {
 
 void MvTx::ReleaseAcquired(uint64_t unlock_version, bool use_saved) {
   for (const AcquiredStripe& held : acquired_) {
+    // mo: release — unlocking publishes the version-chain nodes and the
+    // in-place writeback this commit produced.
     held.stripe->store(use_saved ? held.saved_word : LockTable::MakeVersion(unlock_version),
                        std::memory_order_release);
   }
@@ -120,7 +126,8 @@ bool MvTx::ValidateReadSet() {
   TxValidationScope validation;
   validation.set_steps(read_set_.size());
   local_validation_steps_ += static_cast<int64_t>(read_set_.size());
-  for (const std::atomic<uint64_t>* stripe : read_set_) {
+  for (const sp::AtomicU64* stripe : read_set_) {
+    // mo: acquire — pairs with committers' release stores on the stripe.
     const uint64_t word = stripe->load(std::memory_order_acquire);
     uint64_t effective = word;
     if (LockTable::IsLocked(word)) {
@@ -132,7 +139,7 @@ bool MvTx::ValidateReadSet() {
       // rival may have committed between our read and our lock acquisition).
       const auto it = std::lower_bound(
           acquired_.begin(), acquired_.end(), stripe,
-          [](const AcquiredStripe& held, const std::atomic<uint64_t>* key) {
+          [](const AcquiredStripe& held, const sp::AtomicU64* key) {
             return held.stripe < key;
           });
       SB7_DCHECK(it != acquired_.end() && it->stripe == stripe);

@@ -16,6 +16,8 @@ void FreeMvHistoryHead(void* head) { delete static_cast<MvVersion*>(head); }
 }  // namespace internal
 
 void VersionChain::Publish(TxFieldBase& field, uint64_t value, uint64_t commit_ts) {
+  // mo: relaxed — the committer holds this field's stripe lock, so it is the
+  // only possible writer of the head and the word until it unlocks.
   auto* old_head = static_cast<MvVersion*>(field.LoadMvHistory(std::memory_order_relaxed));
   if (old_head == nullptr) {
     // First write ever: synthesize the pre-history version so that readers
@@ -26,6 +28,8 @@ void VersionChain::Publish(TxFieldBase& field, uint64_t value, uint64_t commit_t
   // Publish the version before the in-place word: a reader that sees the new
   // word but a null history head would misattribute it to the pre-history
   // snapshot (see the chain-empty fallback in ReadAtSnapshot).
+  // mo: release (both) — the node's fields must be visible before the head
+  // pointer, and the head before the word (readers load in reverse order).
   field.StoreMvHistory(node, std::memory_order_release);
   field.StoreRaw(value, std::memory_order_release);
   // The displaced node stays reachable (node->next) for the read-only
@@ -46,9 +50,11 @@ uint64_t VersionChain::ReadAtSnapshot(const TxFieldBase& field, uint64_t snapsho
   // waits out the (short) publish+release window instead of serving a
   // possibly pre-commit state. Waiting is not aborting: the reader stays
   // abort-free, it is merely not wait-free across a rival's commit point.
-  const std::atomic<uint64_t>& stripe = LockTable::Global().StripeOf(field);
+  const sp::AtomicU64& stripe = LockTable::Global().StripeOf(field);
   for (int attempt = 0;; ++attempt) {
     Backoff::Pause(attempt);
+    // mo: acquire — an unlocked word pairs with the last committer's release,
+    // making its published chain and writeback visible.
     const uint64_t pre = stripe.load(std::memory_order_acquire);
     if (LockTable::IsLocked(pre)) {
       continue;
@@ -58,6 +64,7 @@ uint64_t VersionChain::ReadAtSnapshot(const TxFieldBase& field, uint64_t snapsho
       // is the snapshot value. The post-check rejects words torn by a commit
       // that locked the stripe between the two loads.
       const uint64_t word = field.LoadRaw(std::memory_order_acquire);
+      // mo: acquire — seqlock post-check; pairs with lockers' CAS.
       if (stripe.load(std::memory_order_acquire) == pre) {
         return word;
       }
@@ -70,6 +77,8 @@ uint64_t VersionChain::ReadAtSnapshot(const TxFieldBase& field, uint64_t snapsho
     // predates every committed write to this field — it is the pre-history
     // value, committed at ts 0.
     const uint64_t word = field.LoadRaw(std::memory_order_acquire);
+    // mo: acquire — pairs with Publish's release; seeing the head implies the
+    // node contents (value, commit_ts, next) are initialized.
     const auto* node =
         static_cast<const MvVersion*>(field.LoadMvHistory(std::memory_order_acquire));
     if (node == nullptr) {
@@ -90,15 +99,18 @@ std::atomic<int64_t> g_live_mv_nodes{0};
 }  // namespace
 
 void* MvVersion::operator new(size_t size) {
+  // mo: relaxed — leak-check tally; read single-threaded in tests.
   g_live_mv_nodes.fetch_add(1, std::memory_order_relaxed);
   return ::operator new(size);
 }
 
 void MvVersion::operator delete(void* ptr) {
+  // mo: relaxed — leak-check tally; read single-threaded in tests.
   g_live_mv_nodes.fetch_sub(1, std::memory_order_relaxed);
   ::operator delete(ptr);
 }
 
+// mo: relaxed — leak-check tally; read single-threaded in tests.
 int64_t MvVersion::LiveNodeCount() { return g_live_mv_nodes.load(std::memory_order_relaxed); }
 
 }  // namespace sb7

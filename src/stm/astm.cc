@@ -28,15 +28,19 @@ std::unique_ptr<TxImplBase> AstmStm::CreateTx() {
 }
 
 void AstmTx::BeginAttempt() {
+  // mo: release — re-arming the status publishes the cleaned-up state from
+  // the previous attempt to contention managers chasing astm_owner.
   status_.store(AstmStatus::kActive, std::memory_order_release);
   read_map_.clear();
   write_map_.clear();
   write_order_.clear();
+  // mo: relaxed — heuristic mirror of the open count (see astm.h).
   priority_.store(0, std::memory_order_relaxed);
   local_reads_ = local_writes_ = local_validation_steps_ = local_bytes_cloned_ = 0;
 }
 
 void AstmTx::FlushLocalStats() {
+  // mo: relaxed — StmStats tallies; read only after workers are joined.
   stats_.reads.fetch_add(local_reads_, std::memory_order_relaxed);
   stats_.writes.fetch_add(local_writes_, std::memory_order_relaxed);
   stats_.validation_steps.fetch_add(local_validation_steps_, std::memory_order_relaxed);
@@ -44,6 +48,7 @@ void AstmTx::FlushLocalStats() {
 }
 
 void AstmTx::CheckAlive() const {
+  // mo: acquire — pairs with the killer's acq_rel CAS in RequestAbort.
   if (status_.load(std::memory_order_acquire) == AstmStatus::kAborted) {
     SetTxAbortCause(AbortCause::kKill);
     throw TxAborted{};
@@ -57,6 +62,7 @@ bool AstmTx::ValidateReadList() {
   validation.set_steps(read_map_.size());
   local_validation_steps_ += static_cast<int64_t>(read_map_.size());
   for (const auto& [unit, version] : read_map_) {
+    // mo: acquire — pairs with committers' seqlock bumps during writeback.
     if (unit->astm_version.load(std::memory_order_acquire) != version) {
       SetTxAbortCause(AbortCause::kReadValidation, UnitConflictKey(*unit));
       return false;
@@ -78,6 +84,7 @@ void AstmTx::HandleConflict(const TmUnit& unit, AstmTx& owner, int& retries) {
       throw TxAborted{};
     case ContentionManager::Action::kAbortOther:
       if (owner.RequestAbort()) {
+        // mo: relaxed — StmStats tally.
         stats_.kills.fetch_add(1, std::memory_order_relaxed);
       }
       Backoff::Pause(++retries);  // wait for the kill to take effect
@@ -96,12 +103,15 @@ uint64_t AstmTx::OpenRead(const TmUnit& unit) {
   uint64_t version;
   while (true) {
     CheckAlive();
+    // mo: acquire — an even version pairs with the last committer's flush.
     version = unit.astm_version.load(std::memory_order_acquire);
     if ((version & 1) != 0) {
       // A committed writer is flushing its image; wait it out.
       Backoff::Pause(++retries);
       continue;
     }
+    // mo: acquire — chasing the owner pointer must see that descriptor's
+    // published state (status, priority).
     AstmTx* owner = unit.astm_owner.load(std::memory_order_acquire);
     if (owner != nullptr && owner != this) {
       // Read-after-write conflict (DSTM/ASTM semantics): arbitrate.
@@ -115,6 +125,7 @@ uint64_t AstmTx::OpenRead(const TmUnit& unit) {
     throw TxAborted{};
   }
   read_map_.emplace(&unit, version);
+  // mo: relaxed — heuristic open-count mirror (see astm.h).
   priority_.fetch_add(1, std::memory_order_relaxed);
   return version;
 }
@@ -133,6 +144,7 @@ uint64_t AstmTx::Read(const TxFieldBase& field) {
   // Post-validation: a writer may have committed and flushed between the
   // open and the load; the seqlock-style version detects both the bump and
   // the odd (mid-flush) state.
+  // mo: acquire — seqlock post-check; pairs with the writeback bumps.
   if (unit.astm_version.load(std::memory_order_acquire) != recorded) {
     SetTxAbortCause(AbortCause::kReadValidation, UnitConflictKey(unit));
     throw TxAborted{};
@@ -144,6 +156,9 @@ AstmTx::WriteImage& AstmTx::OpenWrite(TmUnit& unit) {
   int retries = 0;
   while (true) {
     CheckAlive();
+    // mo: acquire load / acq_rel CAS — acquiring ownership must see the
+    // previous owner's release (its flush is complete) and publish this
+    // descriptor to rivals and contention managers.
     AstmTx* owner = unit.astm_owner.load(std::memory_order_acquire);
     if (owner == nullptr) {
       if (unit.astm_owner.compare_exchange_strong(owner, this, std::memory_order_acq_rel)) {
@@ -171,6 +186,7 @@ AstmTx::WriteImage& AstmTx::OpenWrite(TmUnit& unit) {
     local_bytes_cloned_ += static_cast<int64_t>(payload.size());
   }
   write_order_.push_back(&unit);
+  // mo: relaxed — heuristic open-count mirror (see astm.h).
   priority_.fetch_add(1, std::memory_order_relaxed);
   return write_map_.emplace(&unit, std::move(image)).first->second;
 }
@@ -195,6 +211,8 @@ bool AstmTx::TryCommit() {
     return false;
   }
   AstmStatus expected = AstmStatus::kActive;
+  // mo: acq_rel — the commit point races the killer's CAS in RequestAbort;
+  // exactly one lands, and its effects must be visible both ways.
   if (!status_.compare_exchange_strong(expected, AstmStatus::kCommitted,
                                        std::memory_order_acq_rel)) {
     SetTxAbortCause(AbortCause::kKill);
@@ -205,11 +223,14 @@ bool AstmTx::TryCommit() {
   // during the flush so concurrent readers never consume torn states.
   for (TmUnit* unit : write_order_) {
     const WriteImage& image = write_map_[unit];
+    // mo: acq_rel — odd marks flush-in-progress; readers spin on it.
     unit->astm_version.fetch_add(1, std::memory_order_acq_rel);
     const auto& fields = unit->fields();
     for (size_t i = 0; i < fields.size(); ++i) {
       fields[i]->StoreRaw(image.words[i], std::memory_order_release);
     }
+    // mo: acq_rel bump publishes the flushed words (even again); release
+    // on the owner clear lets the next acquirer see the completed flush.
     unit->astm_version.fetch_add(1, std::memory_order_acq_rel);
     unit->astm_owner.store(nullptr, std::memory_order_release);
   }
@@ -221,16 +242,19 @@ bool AstmTx::TryCommit() {
 void AstmTx::ReleaseOwnerships() {
   // No writeback happened (abort path), so versions stay untouched.
   for (TmUnit* unit : write_order_) {
+    // mo: release — hands the unit back with our (non-)effects settled.
     unit->astm_owner.store(nullptr, std::memory_order_release);
   }
   write_order_.clear();
   write_map_.clear();
   // Keep the advertised priority consistent with the surviving read list
   // until the next BeginAttempt resets both.
+  // mo: relaxed — heuristic open-count mirror (see astm.h).
   priority_.store(static_cast<int64_t>(read_map_.size()), std::memory_order_relaxed);
 }
 
 void AstmTx::AbortSelf() {
+  // mo: release — publishes the dead state before ownerships drop.
   status_.store(AstmStatus::kAborted, std::memory_order_release);
   ReleaseOwnerships();
   FlushLocalStats();

@@ -65,12 +65,17 @@ class AstmTx : public TxImplBase {
   // threads while this transaction keeps opening objects, so it is a
   // dedicated atomic mirror of read_map_.size() + write_map_.size() — the
   // maps themselves must never be touched cross-thread.
+  // mo: relaxed — a heuristic input to arbitration; any recent value works.
   int64_t Priority() const { return priority_.load(std::memory_order_relaxed); }
+  // mo: acquire — pairs with the release transitions in TryCommit/AbortSelf
+  // so a reader acting on kCommitted/kAborted sees the state behind it.
   AstmStatus status() const { return status_.load(std::memory_order_acquire); }
 
   // Attempts to kill this transaction; returns true if the kill landed.
   bool RequestAbort() {
     AstmStatus expected = AstmStatus::kActive;
+    // mo: acq_rel — arbitration point against the victim's own commit CAS;
+    // winner's ordering must be visible both ways.
     return status_.compare_exchange_strong(expected, AstmStatus::kAborted,
                                            std::memory_order_acq_rel);
   }
@@ -92,8 +97,14 @@ class AstmTx : public TxImplBase {
 
   StmStats& stats_;
   ContentionManager* cm_;
-  std::atomic<AstmStatus> status_{AstmStatus::kActive};
-  // Cross-thread-readable open count (see Priority()).
+  // The kill/commit arbitration word: a protocol atomic, so it sits on the
+  // SyncPoint seam for the interleaving explorer.
+  sp::Atomic<AstmStatus> status_{AstmStatus::kActive};
+  // Cross-thread-readable open count (see Priority()). Deliberately NOT on
+  // the SyncPoint seam: it only biases contention-manager heuristics, and
+  // instrumenting it would add a schedule point per object open for no
+  // protocol coverage. The explorer models the historical Priority() race
+  // at the litmus level instead (astm-priority-race).
   std::atomic<int64_t> priority_{0};
 
   std::unordered_map<const TmUnit*, uint64_t> read_map_;  // unit -> version

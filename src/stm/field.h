@@ -37,6 +37,7 @@
 #include "src/common/diag.h"
 #include "src/common/timing.h"
 #include "src/ebr/ebr.h"
+#include "src/mc/sync_point.h"
 
 namespace sb7 {
 
@@ -72,8 +73,10 @@ class TmUnit {
   const PayloadSource& payload_source() const { return payload_source_; }
 
   // --- metadata owned by the ASTM-like STM ---
-  std::atomic<AstmTx*> astm_owner{nullptr};
-  std::atomic<uint64_t> astm_version{0};
+  // Protocol atomics (ownership word + per-object seqlock): on the
+  // SyncPoint seam so the interleaving explorer can schedule around them.
+  sp::Atomic<AstmTx*> astm_owner{nullptr};
+  sp::AtomicU64 astm_version{0};
 
   // --- lock-coverage chain (used by the fine-grained locking strategy) ---
   // Each unit is covered by a lockable ancestor: an atomic part or document
@@ -249,9 +252,11 @@ inline thread_local int64_t tls_tx_validation_nanos = 0;
 }  // namespace internal
 
 inline bool TxTimingEnabled() {
+  // mo: relaxed — advisory flag, flipped only while no tx is in flight.
   return internal::g_tx_timing_enabled.load(std::memory_order_relaxed);
 }
 inline void SetTxTimingEnabled(bool enabled) {
+  // mo: relaxed — see TxTimingEnabled; quiescence provides the ordering.
   internal::g_tx_timing_enabled.store(enabled, std::memory_order_relaxed);
 }
 
@@ -265,28 +270,33 @@ inline void SetTxTimingEnabled(bool enabled) {
 /// Install/remove only while no transactions are in flight; observers
 /// themselves must be thread-safe (they are called concurrently from every
 /// worker).
+///
+/// Every callback is `noexcept` (enforced by `sb7-lint`): observers fire on
+/// STM hot paths — inside the retry loop and between a backend's lock
+/// acquisition and release — where an escaping exception would unwind
+/// through protocol state (held stripes, odd seqlocks) and corrupt it.
 class TxObserver {
  public:
   virtual ~TxObserver() = default;
 
   /// A new attempt started on the calling thread (read_only = retry-loop
   /// hint).
-  virtual void OnTxBegin(bool read_only) = 0;
+  virtual void OnTxBegin(bool read_only) noexcept = 0;
   /// The attempt committed; called after the commit point, on the
   /// committing thread, before control returns to the operation.
-  virtual void OnTxCommit() = 0;
+  virtual void OnTxCommit() noexcept = 0;
   /// The attempt aborted; `info` carries the backend-reported cause and
   /// conflict key (kUnknown/null when the site did not annotate).
-  virtual void OnTxAbort(const TxAbortInfo& info) = 0;
+  virtual void OnTxAbort(const TxAbortInfo& info) noexcept = 0;
 
   /// A transactional read; `word` is the raw 64-bit encoding the STM
   /// returned.
-  virtual void OnTxRead(const TxFieldBase& field, uint64_t word) {
+  virtual void OnTxRead(const TxFieldBase& field, uint64_t word) noexcept {
     (void)field;
     (void)word;
   }
   /// A transactional write; `word` is the raw 64-bit encoding consumed.
-  virtual void OnTxWrite(const TxFieldBase& field, uint64_t word) {
+  virtual void OnTxWrite(const TxFieldBase& field, uint64_t word) noexcept {
     (void)field;
     (void)word;
   }
@@ -295,7 +305,7 @@ class TxObserver {
   /// later allocated at the same address are different logical locations,
   /// and the birth event is what re-grounds the address in a recorded
   /// history.
-  virtual void OnFieldBirth(const TxFieldBase& field, uint64_t word) {
+  virtual void OnFieldBirth(const TxFieldBase& field, uint64_t word) noexcept {
     (void)field;
     (void)word;
   }
@@ -303,18 +313,18 @@ class TxObserver {
   /// pre-publication seeding of a private object or STM writeback of
   /// already recorded values; both are safely treated as writes of the
   /// enclosing transaction.
-  virtual void OnRawStore(const TxFieldBase& field, uint64_t word) {
+  virtual void OnRawStore(const TxFieldBase& field, uint64_t word) noexcept {
     (void)field;
     (void)word;
   }
   /// A backend validation pass finished on the calling thread; `steps` is
   /// the number of read-set entries re-checked.
-  virtual void OnTxValidation(size_t steps) { (void)steps; }
+  virtual void OnTxValidation(size_t steps) noexcept { (void)steps; }
   /// The calling thread is about to back off before retry `attempt` (>= 1).
-  virtual void OnTxBackoff(int attempt) { (void)attempt; }
+  virtual void OnTxBackoff(int attempt) noexcept { (void)attempt; }
   /// Latency decomposition of the attempt that just ended. Only fired when
   /// TxTimingEnabled(); precedes the matching OnTxCommit/OnTxAbort.
-  virtual void OnTxAttemptTiming(const TxAttemptTiming& timing, bool committed) {
+  virtual void OnTxAttemptTiming(const TxAttemptTiming& timing, bool committed) noexcept {
     (void)timing;
     (void)committed;
   }
@@ -336,6 +346,7 @@ inline std::mutex g_tx_observer_mutex;
 /// Hot-path guard: one relaxed load, one branch, nothing else when no
 /// observer is installed.
 inline bool HasTxObservers() {
+  // mo: relaxed — a zero/nonzero guard; dispatch re-loads with acquire.
   return internal::g_tx_observer_count.load(std::memory_order_relaxed) != 0;
 }
 
@@ -347,15 +358,19 @@ inline bool InstallTxObserver(TxObserver* observer) {
     return false;
   }
   std::lock_guard<std::mutex> lock(internal::g_tx_observer_mutex);
+  // mo: relaxed — reads under the registry mutex, which orders all writers.
   const int count = internal::g_tx_observer_count.load(std::memory_order_relaxed);
   if (count >= kMaxTxObservers) {
     return false;
   }
   for (int i = 0; i < count; ++i) {
+    // mo: relaxed — slot reads under the same registry mutex.
     if (internal::g_tx_observers[i].load(std::memory_order_relaxed) == observer) {
       return false;
     }
   }
+  // mo: release — slot must be fully visible before the count that exposes
+  // it (the count store below is the publication point for dispatch).
   internal::g_tx_observers[count].store(observer, std::memory_order_release);
   internal::g_tx_observer_count.store(count + 1, std::memory_order_release);
   return true;
@@ -366,16 +381,22 @@ inline bool InstallTxObserver(TxObserver* observer) {
 /// flight (compaction is not safe against concurrent dispatch).
 inline bool RemoveTxObserver(TxObserver* observer) {
   std::lock_guard<std::mutex> lock(internal::g_tx_observer_mutex);
+  // mo: relaxed — reads under the registry mutex (see InstallTxObserver).
   const int count = internal::g_tx_observer_count.load(std::memory_order_relaxed);
   for (int i = 0; i < count; ++i) {
+    // mo: relaxed — slot reads under the same registry mutex.
     if (internal::g_tx_observers[i].load(std::memory_order_relaxed) != observer) {
       continue;
     }
     for (int j = i; j + 1 < count; ++j) {
+      // mo: release stores / relaxed loads — compaction runs under the
+      // mutex; release keeps each slot coherent for concurrent dispatch
+      // (which is documented unsafe during removal anyway).
       internal::g_tx_observers[j].store(
           internal::g_tx_observers[j + 1].load(std::memory_order_relaxed),
           std::memory_order_release);
     }
+    // mo: release — shrink the published window before dropping the slot.
     internal::g_tx_observers[count - 1].store(nullptr, std::memory_order_release);
     internal::g_tx_observer_count.store(count - 1, std::memory_order_release);
     return true;
@@ -388,8 +409,11 @@ inline bool RemoveTxObserver(TxObserver* observer) {
 /// case stays a single branch.
 template <typename Fn>
 inline void NotifyTxObservers(Fn&& fn) {
+  // mo: acquire — pairs with the release publication in InstallTxObserver:
+  // a count of N guarantees slots [0, N) are fully written.
   const int count = internal::g_tx_observer_count.load(std::memory_order_acquire);
   for (int i = 0; i < count; ++i) {
+    // mo: acquire — the observer object must be constructed before use.
     if (TxObserver* observer = internal::g_tx_observers[i].load(std::memory_order_acquire)) {
       fn(*observer);
     }
@@ -446,6 +470,7 @@ class TxFieldBase {
   ~TxFieldBase() {
     // Destruction implies exclusivity (objects are unlinked by a committed
     // transaction and reclaimed through EBR before their fields die).
+    // mo: relaxed — no rival access can exist by the argument above.
     if (void* head = mv_history_.load(std::memory_order_relaxed)) {
       internal::FreeMvHistoryHead(head);
     }
@@ -455,11 +480,14 @@ class TxFieldBase {
   size_t index_in_unit() const { return index_in_unit_; }
 
   // Raw access, used by the STM implementations and by the lock-mode fall-
-  // through. Not for use by benchmark code.
+  // through. Not for use by benchmark code (enforced by sb7-lint): Get/Set
+  // are the only seam benchmark code may cross.
   uint64_t LoadRaw(std::memory_order order = std::memory_order_acquire) const {
+    // mo: caller-supplied; defaults to acquire for the lock-mode fall-through.
     return word_.load(order);
   }
   void StoreRaw(uint64_t value, std::memory_order order = std::memory_order_release) {
+    // mo: caller-supplied; defaults to release for the lock-mode fall-through.
     word_.store(value, order);
     if (HasTxObservers()) {
       NotifyTxObservers(
@@ -472,15 +500,20 @@ class TxFieldBase {
   // src/mvstm/version_chain.*. Null until the mvstm backend first writes the
   // field; only ever stored while holding the field's stripe lock.
   void* LoadMvHistory(std::memory_order order = std::memory_order_acquire) const {
+    // mo: caller-supplied; acquire default makes the node's fields visible.
     return mv_history_.load(order);
   }
   void StoreMvHistory(void* head, std::memory_order order = std::memory_order_release) {
+    // mo: caller-supplied; release default publishes the node's fields.
     mv_history_.store(head, order);
   }
 
  private:
-  std::atomic<uint64_t> word_;
-  std::atomic<void*> mv_history_{nullptr};
+  // Both on the SyncPoint seam (src/mc/sync_point.h): the in-place word is
+  // the datum every STM protocol races on, and the version-chain head is
+  // mvstm's publication point.
+  sp::AtomicU64 word_;
+  sp::Atomic<void*> mv_history_{nullptr};
   TmUnit* owner_;
   size_t index_in_unit_ = 0;
 };

@@ -2,7 +2,7 @@
 
 namespace sb7 {
 
-std::atomic<uint64_t> LockTable::clock_{1};
+sp::AtomicU64 LockTable::clock_{1};
 
 LockTable& LockTable::Global() {
   static LockTable* table = new LockTable();  // immortal: 8 MiB of stripes

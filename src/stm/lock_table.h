@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/mc/sync_point.h"
 #include "src/stm/field.h"
 
 namespace sb7 {
@@ -25,7 +26,10 @@ class LockTable {
 
   static LockTable& Global();
 
-  std::atomic<uint64_t>& StripeOf(const TxFieldBase& field) {
+  // Stripes and the clock are sp::Atomic — the SyncPoint seam the
+  // deterministic interleaving explorer (src/mc/) schedules around. In
+  // normal builds (SB7_MC off) sp::Atomic is std::atomic, verbatim.
+  sp::AtomicU64& StripeOf(const TxFieldBase& field) {
     auto addr = reinterpret_cast<uintptr_t>(&field);
     // Fibonacci hash of the field address; fields are >= 8-byte objects.
     const uint64_t h = (static_cast<uint64_t>(addr) >> 3) * 0x9e3779b97f4a7c15ull;
@@ -44,14 +48,19 @@ class LockTable {
   }
 
   // Global version clock (TL2's "global version number").
+  // mo: acquire — a transaction's start timestamp must happen-after the
+  // commits whose versions it may observe (their release of the stripes).
   static uint64_t ClockNow() { return clock_.load(std::memory_order_acquire); }
+  // mo: acq_rel — the tick is the commit's serialization point: it must see
+  // every earlier tick (acquire) and publish this commit's existence to
+  // later clock readers (release).
   static uint64_t ClockAdvance() { return clock_.fetch_add(1, std::memory_order_acq_rel) + 1; }
 
  private:
   LockTable() = default;
 
-  static std::atomic<uint64_t> clock_;
-  std::atomic<uint64_t> stripes_[kStripes] = {};
+  static sp::AtomicU64 clock_;
+  sp::AtomicU64 stripes_[kStripes] = {};
 };
 
 }  // namespace sb7

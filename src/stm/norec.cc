@@ -11,7 +11,7 @@ namespace {
 
 // The single global sequence lock: even = no writer committing, odd = a
 // writer is inside its commit critical section.
-std::atomic<uint64_t> g_norec_clock{0};
+sp::AtomicU64 g_norec_clock{0};
 
 }  // namespace
 
@@ -19,6 +19,8 @@ std::unique_ptr<TxImplBase> NorecStm::CreateTx() { return std::make_unique<Norec
 
 uint64_t NorecTx::WaitForEvenClock() {
   while (true) {
+    // mo: acquire — an even value pairs with the committer's release store,
+    // so every write of that commit is visible before we read data.
     const uint64_t now = g_norec_clock.load(std::memory_order_acquire);
     if ((now & 1) == 0) {
       return now;
@@ -36,6 +38,7 @@ void NorecTx::BeginAttempt() {
 }
 
 void NorecTx::FlushLocalStats() {
+  // mo: relaxed — StmStats tallies; read only after workers are joined.
   stats_.reads.fetch_add(local_reads_, std::memory_order_relaxed);
   stats_.writes.fetch_add(local_writes_, std::memory_order_relaxed);
   stats_.validation_steps.fetch_add(local_validation_steps_, std::memory_order_relaxed);
@@ -66,6 +69,8 @@ uint64_t NorecTx::Validate() {
     }
     // Values matched; the snapshot is only coherent if no writer committed
     // while we were scanning.
+    // mo: acquire — re-check pairs with committers' release; equality
+    // proves no writer interleaved with the value scan.
     if (g_norec_clock.load(std::memory_order_acquire) == before) {
       return before;
     }
@@ -83,6 +88,8 @@ uint64_t NorecTx::Read(const TxFieldBase& field) {
   uint64_t value = field.LoadRaw(std::memory_order_acquire);
   // If a writer committed since our snapshot, re-validate by value and move
   // the snapshot forward, re-reading until the pair (value, clock) is stable.
+  // mo: acquire — any clock motion means a commit may have overlapped the
+  // data read; pairs with that committer's release store.
   while (g_norec_clock.load(std::memory_order_acquire) != snapshot_) {
     snapshot_ = Validate();
     value = field.LoadRaw(std::memory_order_acquire);
@@ -110,6 +117,8 @@ bool NorecTx::TryCommit() {
   }
   // Acquire the global sequence lock at a clock equal to our snapshot; any
   // interleaving writer forces a (value-based) re-validation first.
+  // mo: acq_rel — taking the sequence lock is the serialization point: it
+  // must see every prior commit and publish that a writer is in flight.
   while (!g_norec_clock.compare_exchange_weak(snapshot_, snapshot_ + 1,
                                               std::memory_order_acq_rel)) {
     try {
@@ -123,6 +132,7 @@ bool NorecTx::TryCommit() {
   for (const auto& [field, value] : write_log_) {
     field->StoreRaw(value, std::memory_order_release);
   }
+  // mo: release — turning the clock even publishes the whole writeback.
   g_norec_clock.store(snapshot_ + 2, std::memory_order_release);
   FlushLocalStats();
   RunCommitHooks();

@@ -8,10 +8,12 @@
 
 #include "src/common/rng.h"
 #include "src/ebr/ebr.h"
+#include "src/mc/sync_point.h"
 
 namespace sb7 {
 namespace {
 
+// mo: relaxed — id allocation only needs uniqueness, not ordering.
 std::atomic<uint64_t> g_stm_instance_counter{1};
 
 // Cache of transaction objects, keyed by STM instance id so that a recreated
@@ -54,6 +56,13 @@ void Backoff::Pause(int attempt) {
   if (attempt <= 0) {
     return;
   }
+  if (sp::UnderMcScheduler()) {
+    // Under the interleaving explorer, wall-clock waits are meaningless (the
+    // scheduler alone decides who runs) and real sleeps would stall the whole
+    // exploration. One yield sync point keeps backoff a scheduling point.
+    sp::SyncPoint(nullptr, sp::OpKind::kYield);
+    return;
+  }
   if (attempt < 3) {
     // Brief spin: the conflicting commit is usually a few instructions away.
     const int spins = 1 << (4 + attempt);
@@ -73,6 +82,7 @@ void Backoff::Pause(int attempt) {
   std::this_thread::sleep_for(std::chrono::microseconds(micros));
 }
 
+// mo: relaxed — the id only needs uniqueness, not ordering with anything.
 Stm::Stm() : instance_id_(g_stm_instance_counter.fetch_add(1, std::memory_order_relaxed)) {}
 
 TxImplBase& Stm::LocalTx() {
@@ -96,6 +106,7 @@ TxImplBase& Stm::LocalTx() {
 void Stm::RunAtomically(const std::function<void(Transaction&)>& body, bool read_only) {
   TxImplBase& tx = LocalTx();
   tx.SetReadOnly(read_only);
+  // mo: relaxed — StmStats tallies; read only after workers are joined.
   stats_.starts.fetch_add(1, std::memory_order_relaxed);
   if (read_only) {
     stats_.ro_starts.fetch_add(1, std::memory_order_relaxed);
@@ -157,6 +168,7 @@ void Stm::RunAtomically(const std::function<void(Transaction&)>& body, bool read
         body_validation = internal::tls_tx_validation_nanos;
       }
       if (tx.TryCommit()) {
+        // mo: relaxed — StmStats tallies (see above).
         stats_.commits.fetch_add(1, std::memory_order_relaxed);
         if (read_only) {
           stats_.ro_commits.fetch_add(1, std::memory_order_relaxed);
@@ -191,6 +203,7 @@ void Stm::RunAtomically(const std::function<void(Transaction&)>& body, bool read
         body_validation = internal::tls_tx_validation_nanos;
       }
       if (tx.TryCommit()) {
+        // mo: relaxed — StmStats tallies (see above).
         stats_.commits.fetch_add(1, std::memory_order_relaxed);
         if (read_only) {
           stats_.ro_commits.fetch_add(1, std::memory_order_relaxed);
@@ -208,6 +221,7 @@ void Stm::RunAtomically(const std::function<void(Transaction&)>& body, bool read
         commit_end = NowNanos();
       }
     }
+    // mo: relaxed — StmStats tallies (see above).
     stats_.aborts.fetch_add(1, std::memory_order_relaxed);
     if (read_only) {
       stats_.ro_aborts.fetch_add(1, std::memory_order_relaxed);

@@ -96,39 +96,46 @@ struct StmStats {
     }
   };
 
+  // mo: relaxed — counters are monotonic tallies read after the worker
+  // threads have been joined (phase barriers order the writes); no reader
+  // infers other state from a counter value.
   View Snapshot() const {
     View view;
-#define SB7_STM_STATS_LOAD_FIELD(name) view.name = name.load();
+#define SB7_STM_STATS_LOAD_FIELD(name) view.name = name.load(std::memory_order_relaxed);
     SB7_STM_STATS_FIELDS(SB7_STM_STATS_LOAD_FIELD)
 #undef SB7_STM_STATS_LOAD_FIELD
     return view;
   }
 
+  // mo: relaxed — only called between phases, when no transaction is in
+  // flight; the phase barrier provides the ordering.
   void Reset() {
-#define SB7_STM_STATS_RESET_FIELD(name) name = 0;
+#define SB7_STM_STATS_RESET_FIELD(name) name.store(0, std::memory_order_relaxed);
     SB7_STM_STATS_FIELDS(SB7_STM_STATS_RESET_FIELD)
 #undef SB7_STM_STATS_RESET_FIELD
   }
 
   /// Bumps the per-cause abort bucket matching `cause`.
   void AddAbortCause(AbortCause cause) {
+    std::atomic<int64_t>* bucket = &aborts_unknown;
     switch (cause) {
       case AbortCause::kReadValidation:
-        aborts_read_validation.fetch_add(1, std::memory_order_relaxed);
-        return;
+        bucket = &aborts_read_validation;
+        break;
       case AbortCause::kWriteLock:
-        aborts_write_lock.fetch_add(1, std::memory_order_relaxed);
-        return;
+        bucket = &aborts_write_lock;
+        break;
       case AbortCause::kKill:
-        aborts_kill.fetch_add(1, std::memory_order_relaxed);
-        return;
+        bucket = &aborts_kill;
+        break;
       case AbortCause::kSnapshotTooOld:
-        aborts_snapshot_too_old.fetch_add(1, std::memory_order_relaxed);
-        return;
+        bucket = &aborts_snapshot_too_old;
+        break;
       case AbortCause::kUnknown:
         break;
     }
-    aborts_unknown.fetch_add(1, std::memory_order_relaxed);
+    // mo: relaxed — monotonic tally, read only after workers are joined.
+    bucket->fetch_add(1, std::memory_order_relaxed);
   }
 };
 

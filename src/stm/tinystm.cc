@@ -16,6 +16,7 @@ void TinyTx::BeginAttempt() {
 }
 
 void TinyTx::FlushLocalStats() {
+  // mo: relaxed — StmStats tallies; read only after workers are joined.
   stats_.reads.fetch_add(local_reads_, std::memory_order_relaxed);
   stats_.writes.fetch_add(local_writes_, std::memory_order_relaxed);
   stats_.validation_steps.fetch_add(local_validation_steps_, std::memory_order_relaxed);
@@ -26,6 +27,7 @@ bool TinyTx::ValidateReadSet() const {
   validation.set_steps(read_set_.size());
   local_validation_steps_ += static_cast<int64_t>(read_set_.size());
   for (const ReadEntry& entry : read_set_) {
+    // mo: acquire — pairs with committers' release stores on the stripe.
     const uint64_t word = entry.stripe->load(std::memory_order_acquire);
     if (word == entry.observed) {
       continue;
@@ -51,8 +53,10 @@ bool TinyTx::ExtendSnapshot(uint64_t now) {
 
 uint64_t TinyTx::Read(const TxFieldBase& field) {
   ++local_reads_;
-  std::atomic<uint64_t>& stripe = LockTable::Global().StripeOf(field);
+  sp::AtomicU64& stripe = LockTable::Global().StripeOf(field);
   while (true) {
+    // mo: acquire — the pre/post pair brackets the in-place data read
+    // seqlock-style; both must see the owning writer's release.
     const uint64_t pre = stripe.load(std::memory_order_acquire);
     if (LockTable::IsLocked(pre)) {
       if (LockTable::OwnerOf(pre) == this) {
@@ -64,6 +68,7 @@ uint64_t TinyTx::Read(const TxFieldBase& field) {
       throw TxAborted{};  // owned by a concurrent writer
     }
     const uint64_t value = field.LoadRaw(std::memory_order_acquire);
+    // mo: acquire — the post read of the seqlock pair bracketing the data.
     const uint64_t post = stripe.load(std::memory_order_acquire);
     if (post != pre) {
       continue;  // raced with a commit; re-read
@@ -79,8 +84,9 @@ uint64_t TinyTx::Read(const TxFieldBase& field) {
 
 void TinyTx::Write(TxFieldBase& field, uint64_t value) {
   ++local_writes_;
-  std::atomic<uint64_t>& stripe = LockTable::Global().StripeOf(field);
+  sp::AtomicU64& stripe = LockTable::Global().StripeOf(field);
   if (!OwnsStripe(&stripe)) {
+    // mo: acquire — probe must see the last owner's release of the stripe.
     uint64_t word = stripe.load(std::memory_order_acquire);
     if (LockTable::IsLocked(word)) {
       // Either a concurrent writer owns it, or this transaction does (which
@@ -92,6 +98,8 @@ void TinyTx::Write(TxFieldBase& field, uint64_t value) {
       // Cause and conflict key were set by ValidateReadSet.
       throw TxAborted{};
     }
+    // mo: acq_rel — encounter-time acquisition: observe the prior owner's
+    // release and publish our ownership before the in-place store.
     if (!stripe.compare_exchange_strong(word, LockTable::MakeLocked(this),
                                         std::memory_order_acq_rel)) {
       SetTxAbortCause(AbortCause::kWriteLock, &stripe);
@@ -118,6 +126,7 @@ bool TinyTx::TryCommit() {
     return false;
   }
   for (const OwnedStripe& held : owned_) {
+    // mo: release — publishes the in-place writes before the new version.
     held.stripe->store(LockTable::MakeVersion(wv), std::memory_order_release);
   }
   owned_.clear();
@@ -134,6 +143,7 @@ void TinyTx::RollbackAndRelease() {
   }
   undo_log_.clear();
   for (const OwnedStripe& held : owned_) {
+    // mo: release — publishes the undo writeback before dropping the lock.
     held.stripe->store(held.pre_lock_word, std::memory_order_release);
   }
   owned_.clear();

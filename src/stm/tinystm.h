@@ -42,7 +42,7 @@ class TinyTx : public TxImplBase {
 
  private:
   struct ReadEntry {
-    const std::atomic<uint64_t>* stripe;
+    const sp::AtomicU64* stripe;
     uint64_t observed;  // stripe word at read time
   };
   struct UndoEntry {
@@ -50,11 +50,11 @@ class TinyTx : public TxImplBase {
     uint64_t old_value;
   };
   struct OwnedStripe {
-    std::atomic<uint64_t>* stripe;
+    sp::AtomicU64* stripe;
     uint64_t pre_lock_word;  // restored on abort
   };
 
-  bool OwnsStripe(const std::atomic<uint64_t>* stripe) const {
+  bool OwnsStripe(const sp::AtomicU64* stripe) const {
     return owned_lookup_.count(stripe) != 0;
   }
 
@@ -70,7 +70,7 @@ class TinyTx : public TxImplBase {
   std::vector<ReadEntry> read_set_;
   std::vector<UndoEntry> undo_log_;
   std::vector<OwnedStripe> owned_;
-  std::unordered_set<const std::atomic<uint64_t>*> owned_lookup_;
+  std::unordered_set<const sp::AtomicU64*> owned_lookup_;
 
   int64_t local_reads_ = 0;
   int64_t local_writes_ = 0;

@@ -18,6 +18,7 @@ void Tl2Tx::BeginAttempt() {
 }
 
 void Tl2Tx::FlushLocalStats() {
+  // mo: relaxed — StmStats tallies; read only after workers are joined.
   stats_.reads.fetch_add(local_reads_, std::memory_order_relaxed);
   stats_.writes.fetch_add(local_writes_, std::memory_order_relaxed);
   stats_.validation_steps.fetch_add(local_validation_steps_, std::memory_order_relaxed);
@@ -31,7 +32,10 @@ uint64_t Tl2Tx::Read(const TxFieldBase& field) {
       return write_log_[it->second].value;
     }
   }
-  const std::atomic<uint64_t>& stripe = LockTable::Global().StripeOf(field);
+  const sp::AtomicU64& stripe = LockTable::Global().StripeOf(field);
+  // mo: acquire (both stripe loads and the data load) — the pre/post stripe
+  // check brackets the data read seqlock-style; each must see the writeback
+  // published by the committer's release of the stripe.
   const uint64_t pre = stripe.load(std::memory_order_acquire);
   const uint64_t value = field.LoadRaw(std::memory_order_acquire);
   const uint64_t post = stripe.load(std::memory_order_acquire);
@@ -59,7 +63,7 @@ bool Tl2Tx::AcquireWriteStripes() {
   // Collect the distinct stripes covering the write set; sorting by address
   // makes concurrent committers acquire in the same order, so the only
   // possible outcome of a collision is a clean abort, never deadlock.
-  std::vector<std::atomic<uint64_t>*> stripes;
+  std::vector<sp::AtomicU64*> stripes;
   stripes.reserve(write_log_.size());
   for (const WriteEntry& entry : write_log_) {
     stripes.push_back(&LockTable::Global().StripeOf(*entry.field));
@@ -68,7 +72,9 @@ bool Tl2Tx::AcquireWriteStripes() {
   stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
 
   acquired_.reserve(stripes.size());
-  for (std::atomic<uint64_t>* stripe : stripes) {
+  for (sp::AtomicU64* stripe : stripes) {
+    // mo: acquire on the probe; acq_rel on the CAS — taking the lock must
+    // observe the prior owner's release and publish our ownership.
     uint64_t word = stripe->load(std::memory_order_acquire);
     if (LockTable::IsLocked(word) ||
         !stripe->compare_exchange_strong(word, LockTable::MakeLocked(this),
@@ -84,6 +90,8 @@ bool Tl2Tx::AcquireWriteStripes() {
 
 void Tl2Tx::ReleaseAcquired(uint64_t unlock_version, bool use_saved) {
   for (const AcquiredStripe& held : acquired_) {
+    // mo: release — unlocking publishes the redo-log writeback (or, on
+    // abort, re-exposes the untouched pre-lock version).
     held.stripe->store(use_saved ? held.saved_word : LockTable::MakeVersion(unlock_version),
                        std::memory_order_release);
   }
@@ -94,7 +102,9 @@ bool Tl2Tx::ValidateReadSet() {
   TxValidationScope validation;
   validation.set_steps(read_set_.size());
   local_validation_steps_ += static_cast<int64_t>(read_set_.size());
-  for (const std::atomic<uint64_t>* stripe : read_set_) {
+  for (const sp::AtomicU64* stripe : read_set_) {
+    // mo: acquire — pairs with committers' release stores; a version we
+    // accept implies that commit's writeback is visible.
     const uint64_t word = stripe->load(std::memory_order_acquire);
     uint64_t effective = word;
     if (LockTable::IsLocked(word)) {
@@ -109,7 +119,7 @@ bool Tl2Tx::ValidateReadSet() {
       // AcquireWriteStripes).
       const auto it = std::lower_bound(
           acquired_.begin(), acquired_.end(), stripe,
-          [](const AcquiredStripe& held, const std::atomic<uint64_t>* key) {
+          [](const AcquiredStripe& held, const sp::AtomicU64* key) {
             return held.stripe < key;
           });
       SB7_DCHECK(it != acquired_.end() && it->stripe == stripe);

@@ -56,12 +56,12 @@ class Tl2Tx : public TxImplBase {
   StmStats& stats_;
   uint64_t rv_ = 0;
 
-  std::vector<const std::atomic<uint64_t>*> read_set_;
+  std::vector<const sp::AtomicU64*> read_set_;
   std::vector<WriteEntry> write_log_;
   std::unordered_map<const TxFieldBase*, size_t> write_index_;
 
   struct AcquiredStripe {
-    std::atomic<uint64_t>* stripe;
+    sp::AtomicU64* stripe;
     uint64_t saved_word;  // pre-lock word, restored on failed commit
   };
   std::vector<AcquiredStripe> acquired_;

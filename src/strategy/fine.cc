@@ -261,11 +261,13 @@ class AuditTx : public Transaction {
   uint64_t Read(const TxFieldBase& field) override {
     const TmUnit& unit = field.owner();
     SB7_CHECK(unit.Cover()->topology() || unit.topology() || plan_.Covers(unit, false));
+    // raw-ok: the fine-lock plan covering this unit serializes the access.
     return field.LoadRaw();
   }
 
   void Write(TxFieldBase& field, uint64_t value) override {
     SB7_CHECK(plan_.Covers(field.owner(), true));
+    // raw-ok: the fine-lock plan covering this unit serializes the access.
     field.StoreRaw(value);
   }
 

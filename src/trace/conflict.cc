@@ -9,13 +9,17 @@ ConflictTable::Snapshot ConflictTable::TakeSnapshot() const {
   snapshot.bucket_aborts.resize(kBuckets);
   snapshot.bucket_keys.resize(kBuckets);
   snapshot.pair_counts.resize(kConflictOpSlots * kConflictOpSlots);
+  // mo: relaxed — statistical counters; snapshots are taken at phase
+  // boundaries where exactness is not load-bearing (see conflict.h).
   for (size_t i = 0; i < kBuckets; ++i) {
     snapshot.bucket_aborts[i] = buckets_[i].aborts.load(std::memory_order_relaxed);
     snapshot.bucket_keys[i] = buckets_[i].key.load(std::memory_order_relaxed);
   }
   for (int i = 0; i < kConflictOpSlots * kConflictOpSlots; ++i) {
+    // mo: relaxed — same statistical counters as above.
     snapshot.pair_counts[i] = pairs_[i].load(std::memory_order_relaxed);
   }
+  // mo: relaxed — same statistical counters as above.
   snapshot.total_aborts = total_aborts_.load(std::memory_order_relaxed);
   snapshot.attributed_aborts = attributed_aborts_.load(std::memory_order_relaxed);
   return snapshot;

@@ -50,17 +50,21 @@ class ConflictTable {
       return;
     }
     Bucket& bucket = buckets_[BucketOf(key)];
+    // mo: relaxed — attribution is statistical by design (racing writers
+    // may interleave key/op); no reader derives invariants from a bucket.
     bucket.key.store(key, std::memory_order_relaxed);
     bucket.last_writer_op.store(ConflictOpSlot(op_index), std::memory_order_relaxed);
   }
 
   /// Attributes one abort of op `victim_op_index` to `key`.
   void RecordAbort(uintptr_t key, int victim_op_index) {
+    // mo: relaxed — statistical tallies, here and below; see RecordWrite.
     total_aborts_.fetch_add(1, std::memory_order_relaxed);
     if (key == 0) {
       return;
     }
     Bucket& bucket = buckets_[BucketOf(key)];
+    // mo: relaxed — statistical bucket updates (see RecordWrite).
     bucket.key.store(key, std::memory_order_relaxed);
     bucket.aborts.fetch_add(1, std::memory_order_relaxed);
     const int writer = bucket.last_writer_op.load(std::memory_order_relaxed);

@@ -82,17 +82,24 @@ class EventRing {
   EventRing& operator=(const EventRing&) = delete;
 
   void Push(const TraceEvent& event) {
+    // mo: relaxed — head is producer-owned; only this thread advances it.
     const uint64_t head = head_.load(std::memory_order_relaxed);
+    // mo: acquire — pairs with the consumer's release of tail: a released
+    // slot may be rewritten only after the consumer is done reading it.
     if (head - tail_.load(std::memory_order_acquire) >= slots_.size()) {
+      // mo: relaxed — overflow tally; read after the run quiesces.
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     slots_[head & mask_] = event;
+    // mo: release — publishes the filled slot before the new head.
     head_.store(head + 1, std::memory_order_release);
   }
 
   /// Appends all currently published events to `out`; returns how many.
   size_t Drain(std::vector<TraceEvent>& out) {
+    // mo: acquire on head (pairs with the producer's release — slot
+    // contents are visible); relaxed on tail (consumer-owned).
     const uint64_t head = head_.load(std::memory_order_acquire);
     uint64_t tail = tail_.load(std::memory_order_relaxed);
     const size_t count = static_cast<size_t>(head - tail);
@@ -101,10 +108,12 @@ class EventRing {
       out.push_back(slots_[tail & mask_]);
       ++tail;
     }
+    // mo: release — hands the consumed slots back to the producer.
     tail_.store(tail, std::memory_order_release);
     return count;
   }
 
+  // mo: relaxed — tally; read after the run quiesces.
   int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
   size_t capacity() const { return slots_.size(); }
 

@@ -21,6 +21,7 @@ struct TlsSlot {
 };
 thread_local TlsSlot tls_slot;
 
+// mo: relaxed — id allocation only needs uniqueness, not ordering.
 std::atomic<uint64_t> g_next_tracer_id{1};
 
 // Conflict key of a field: the address of its lock-table stripe, matching
@@ -33,6 +34,7 @@ uintptr_t KeyOf(const TxFieldBase& field) {
 
 Tracer::Tracer(TraceOptions options)
     : options_(options),
+      // mo: relaxed — the id only needs uniqueness, not ordering.
       instance_id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 Tracer::~Tracer() {
@@ -84,7 +86,7 @@ void Tracer::PushEvent(ThreadState& state, EventKind kind, uint32_t arg, AbortCa
   state.ring.Push(event);
 }
 
-void Tracer::OnTxBegin(bool /*read_only*/) {
+void Tracer::OnTxBegin(bool /*read_only*/) noexcept {
   ThreadState& state = LocalState();
   if (state.retries == 0) {
     // First attempt of a new transaction: roll the sampling dice once; the
@@ -96,7 +98,7 @@ void Tracer::OnTxBegin(bool /*read_only*/) {
   }
 }
 
-void Tracer::OnTxCommit() {
+void Tracer::OnTxCommit() noexcept {
   ThreadState& state = LocalState();
   if (state.sampled) {
     PushEvent(state, EventKind::kCommit, state.retries);
@@ -104,7 +106,7 @@ void Tracer::OnTxCommit() {
   state.retries = 0;
 }
 
-void Tracer::OnTxAbort(const TxAbortInfo& info) {
+void Tracer::OnTxAbort(const TxAbortInfo& info) noexcept {
   ThreadState& state = LocalState();
   conflicts_.RecordAbort(info.conflict_key, TxOpContext());
   if (state.sampled) {
@@ -113,7 +115,7 @@ void Tracer::OnTxAbort(const TxAbortInfo& info) {
   ++state.retries;
 }
 
-void Tracer::OnTxRead(const TxFieldBase& field, uint64_t /*word*/) {
+void Tracer::OnTxRead(const TxFieldBase& field, uint64_t /*word*/) noexcept {
   if (!options_.record_accesses) {
     return;
   }
@@ -124,7 +126,7 @@ void Tracer::OnTxRead(const TxFieldBase& field, uint64_t /*word*/) {
   }
 }
 
-void Tracer::OnTxWrite(const TxFieldBase& field, uint64_t /*word*/) {
+void Tracer::OnTxWrite(const TxFieldBase& field, uint64_t /*word*/) noexcept {
   // Last-writer tracking is what abort attribution pairs victims against;
   // it stays on regardless of the access-event knob.
   conflicts_.RecordWrite(KeyOf(field), TxOpContext());
@@ -137,7 +139,7 @@ void Tracer::OnTxWrite(const TxFieldBase& field, uint64_t /*word*/) {
   }
 }
 
-void Tracer::OnTxValidation(size_t steps) {
+void Tracer::OnTxValidation(size_t steps) noexcept {
   ThreadState& state = LocalState();
   if (state.sampled) {
     PushEvent(state, EventKind::kValidation,
@@ -145,14 +147,14 @@ void Tracer::OnTxValidation(size_t steps) {
   }
 }
 
-void Tracer::OnTxBackoff(int attempt) {
+void Tracer::OnTxBackoff(int attempt) noexcept {
   ThreadState& state = LocalState();
   if (state.sampled) {
     PushEvent(state, EventKind::kBackoff, static_cast<uint32_t>(attempt));
   }
 }
 
-void Tracer::OnTxAttemptTiming(const TxAttemptTiming& timing, bool committed) {
+void Tracer::OnTxAttemptTiming(const TxAttemptTiming& timing, bool committed) noexcept {
   ThreadState& state = LocalState();
   OpLatencyBreakdown& slot = state.by_op[ConflictOpSlot(TxOpContext())];
   slot.attempts += 1;

@@ -102,14 +102,16 @@ class Tracer : public TxObserver {
   std::vector<OpLatencyBreakdown> LatencyByOp() const;
 
   // --- TxObserver implementation (called from worker threads) ---
-  void OnTxBegin(bool read_only) override;
-  void OnTxCommit() override;
-  void OnTxAbort(const TxAbortInfo& info) override;
-  void OnTxRead(const TxFieldBase& field, uint64_t word) override;
-  void OnTxWrite(const TxFieldBase& field, uint64_t word) override;
-  void OnTxValidation(size_t steps) override;
-  void OnTxBackoff(int attempt) override;
-  void OnTxAttemptTiming(const TxAttemptTiming& timing, bool committed) override;
+  // noexcept per the TxObserver contract (enforced by sb7-lint): a throw
+  // here would unwind through a transaction's commit/abort path.
+  void OnTxBegin(bool read_only) noexcept override;
+  void OnTxCommit() noexcept override;
+  void OnTxAbort(const TxAbortInfo& info) noexcept override;
+  void OnTxRead(const TxFieldBase& field, uint64_t word) noexcept override;
+  void OnTxWrite(const TxFieldBase& field, uint64_t word) noexcept override;
+  void OnTxValidation(size_t steps) noexcept override;
+  void OnTxBackoff(int attempt) noexcept override;
+  void OnTxAttemptTiming(const TxAttemptTiming& timing, bool committed) noexcept override;
 
  private:
   struct ThreadState {

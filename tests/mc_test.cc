@@ -1,0 +1,208 @@
+// Tests for the deterministic interleaving explorer (src/mc/): scheduler
+// determinism, sleep-set reduction soundness, the pinned historical-race
+// regressions with trace round-trip replay, and bounded STM exploration.
+// Compiled only in SB7_MC builds (see CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "src/mc/explorer.h"
+#include "src/mc/litmus.h"
+#include "src/mc/scheduler.h"
+#include "src/mc/trace_io.h"
+
+namespace sb7::mc {
+namespace {
+
+ExploreOptions SmokeOptions() {
+  ExploreOptions options;
+  options.max_schedules = 500;
+  options.max_steps = 400;
+  return options;
+}
+
+const Litmus& Registered(const char* name) {
+  const Litmus* litmus = FindLitmus(name);
+  EXPECT_NE(litmus, nullptr) << name;
+  return *litmus;
+}
+
+TEST(McExplorerTest, ExplorationIsDeterministic) {
+  // Same litmus, same options: the full sequence of explored schedules must
+  // be identical run to run — that is what makes traces replayable and CI
+  // failures reproducible.
+  for (const char* name : {"astm-priority-race", "dpor-2x2", "tracer-tls-uaf"}) {
+    const Litmus& litmus = Registered(name);
+    const ExploreResult first = Explore(litmus, SmokeOptions());
+    const ExploreResult second = Explore(litmus, SmokeOptions());
+    EXPECT_EQ(first.schedules, second.schedules) << name;
+    EXPECT_EQ(first.failures, second.failures) << name;
+    EXPECT_EQ(first.schedule_tids, second.schedule_tids) << name;
+  }
+}
+
+// A 2-thread / 2-variable message-passing litmus whose reachable outcomes
+// are known exactly: T0 stores x then y; T1 loads x then y. The reader can
+// observe (0,0), (1,0), (1,1) — and (0,1) by reading x before the writer
+// runs and y after. Sleep sets must preserve this *outcome set* while
+// exploring fewer (or equal) schedules.
+struct MpCells {
+  sp::AtomicU64 x{0}, y{0};
+  uint64_t rx = 0, ry = 0;
+};
+
+Litmus MakeOutcomeLitmus(const std::shared_ptr<MpCells>& cells,
+                         const std::shared_ptr<std::set<std::pair<uint64_t, uint64_t>>>&
+                             outcomes) {
+  Litmus litmus;
+  litmus.name = "test-mp-outcomes";
+  litmus.setup = [cells] {
+    // mo: relaxed — single-threaded reset from the control thread.
+    cells->x.store(0, std::memory_order_relaxed);
+    cells->y.store(0, std::memory_order_relaxed);
+    cells->rx = cells->ry = 0;
+  };
+  litmus.bodies = {
+      [cells] {
+        cells->x.store(1, std::memory_order_relaxed);
+        cells->y.store(1, std::memory_order_relaxed);
+      },
+      [cells] {
+        cells->rx = cells->x.load(std::memory_order_relaxed);
+        cells->ry = cells->y.load(std::memory_order_relaxed);
+      },
+  };
+  litmus.check = [cells, outcomes]() {
+    outcomes->emplace(cells->rx, cells->ry);
+    return std::string();
+  };
+  return litmus;
+}
+
+TEST(McExplorerTest, SleepSetReductionIsSound) {
+  auto cells = std::make_shared<MpCells>();
+  auto full_outcomes = std::make_shared<std::set<std::pair<uint64_t, uint64_t>>>();
+  auto reduced_outcomes = std::make_shared<std::set<std::pair<uint64_t, uint64_t>>>();
+
+  ExploreOptions full = SmokeOptions();
+  full.sleep_sets = false;
+  const ExploreResult unreduced =
+      Explore(MakeOutcomeLitmus(cells, full_outcomes), full);
+
+  const ExploreResult reduced =
+      Explore(MakeOutcomeLitmus(cells, reduced_outcomes), SmokeOptions());
+
+  EXPECT_FALSE(unreduced.budget_exhausted);
+  EXPECT_FALSE(reduced.budget_exhausted);
+  // Soundness: reduction loses no observable outcome.
+  EXPECT_EQ(*reduced_outcomes, *full_outcomes);
+  // All four message-passing outcomes are reachable and must be found.
+  const std::set<std::pair<uint64_t, uint64_t>> expected = {
+      {0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_EQ(*full_outcomes, expected);
+  // Effectiveness: the reduced run does no more work than the full one.
+  EXPECT_LE(reduced.schedules, unreduced.schedules);
+}
+
+TEST(McExplorerTest, SwitchBoundPrunesPreemptiveSchedules) {
+  const Litmus& litmus = Registered("dpor-2x2");
+  ExploreOptions unbounded = SmokeOptions();
+  unbounded.sleep_sets = false;
+  ExploreOptions bounded = unbounded;
+  bounded.switch_bound = 0;
+  const ExploreResult all = Explore(litmus, unbounded);
+  const ExploreResult few = Explore(litmus, bounded);
+  EXPECT_GE(few.schedules, 1u);
+  EXPECT_LT(few.schedules, all.schedules);
+  EXPECT_EQ(few.failures, 0u);
+}
+
+TEST(McRegressionTest, AstmPriorityRaceIsPinned) {
+  // The historical bug: exploration must *deterministically* find the racy
+  // pair — no luck of OS timing involved.
+  const ExploreResult racy = Explore(Registered("astm-priority-race"), SmokeOptions());
+  EXPECT_GT(racy.failures, 0u);
+  ASSERT_TRUE(racy.first_failure.has_value());
+  EXPECT_EQ(racy.first_failure->violation.kind, Violation::Kind::kDataRace)
+      << racy.first_failure->violation.detail;
+
+  // And the shipped fix must explore clean, exhaustively.
+  const ExploreResult fixed = Explore(Registered("astm-priority-fixed"), SmokeOptions());
+  EXPECT_EQ(fixed.failures, 0u);
+  EXPECT_FALSE(fixed.budget_exhausted);
+}
+
+TEST(McRegressionTest, TracerTlsUseAfterFreeIsPinned) {
+  const ExploreResult racy = Explore(Registered("tracer-tls-uaf"), SmokeOptions());
+  EXPECT_GT(racy.failures, 0u);
+  ASSERT_TRUE(racy.first_failure.has_value());
+  EXPECT_EQ(racy.first_failure->violation.kind, Violation::Kind::kUseAfterFree)
+      << racy.first_failure->violation.detail;
+
+  const ExploreResult fixed = Explore(Registered("tracer-tls-fixed"), SmokeOptions());
+  EXPECT_EQ(fixed.failures, 0u);
+  EXPECT_FALSE(fixed.budget_exhausted);
+}
+
+TEST(McRegressionTest, FailingScheduleRoundTripsThroughTraceFile) {
+  const Litmus& litmus = Registered("astm-priority-race");
+  const ExploreResult result = Explore(litmus, SmokeOptions());
+  ASSERT_TRUE(result.first_failure.has_value());
+
+  // Serialize -> file -> parse.
+  const std::string path = testing::TempDir() + "/astm_priority_race.trace";
+  std::string error;
+  ASSERT_TRUE(WriteTraceFile(path, *result.first_failure, litmus.num_threads(), &error))
+      << error;
+  const auto parsed = ReadTraceFile(path, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->litmus, litmus.name);
+  EXPECT_EQ(parsed->threads, litmus.num_threads());
+  EXPECT_EQ(parsed->steps.size(), result.first_failure->steps.size());
+
+  // Replay must follow the recorded schedule exactly and rediscover the
+  // same class of violation.
+  std::string divergence;
+  const ScheduleTrace replayed = Replay(litmus, parsed->steps, &divergence);
+  EXPECT_TRUE(divergence.empty()) << divergence;
+  EXPECT_EQ(replayed.violation.kind, Violation::Kind::kDataRace)
+      << replayed.violation.detail;
+}
+
+TEST(McRegressionTest, TraceParserRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(ParseTrace("not a trace\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(
+      ParseTrace("sb7-mc-trace v1\nlitmus x\nstep 1 tid 0 kind load addr a\n", &error)
+          .has_value());  // step index must start at 0
+  EXPECT_FALSE(ParseTrace("sb7-mc-trace v1\nthreads 2\n", &error).has_value());
+}
+
+TEST(McStmTest, BoundedExplorationOfRealBackendsStaysOpaque) {
+  // Bounded sweep through real transactions: every explored schedule's
+  // history must pass the opacity checker and land the expected end state.
+  // The schedule space is far larger than the budget; budget exhaustion is
+  // fine — zero failures within the budget is the gate.
+  ExploreOptions options;
+  options.max_schedules = 60;
+  options.max_steps = 600;
+  for (const char* name : {"stm-lost-update-tl2", "stm-lost-update-norec",
+                           "stm-snapshot-mvstm", "stm-increment-pair-tinystm"}) {
+    const ExploreResult result = Explore(Registered(name), options);
+    EXPECT_EQ(result.failures, 0u)
+        << name << ": "
+        << (result.first_failure
+                ? (result.first_failure->violation
+                       ? result.first_failure->violation.detail
+                       : result.first_failure->check_failure)
+                : std::string("?"));
+    EXPECT_GT(result.schedules, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sb7::mc

@@ -136,14 +136,14 @@ class CountingObserver : public TxObserver {
  public:
   explicit CountingObserver(std::vector<const CountingObserver*>* order = nullptr)
       : order_(order) {}
-  void OnTxBegin(bool /*read_only*/) override {
+  void OnTxBegin(bool /*read_only*/) noexcept override {
     ++begins_;
     if (order_ != nullptr) {
       order_->push_back(this);
     }
   }
-  void OnTxCommit() override {}
-  void OnTxAbort(const TxAbortInfo& /*info*/) override {}
+  void OnTxCommit() noexcept override {}
+  void OnTxAbort(const TxAbortInfo& /*info*/) noexcept override {}
   int begins() const { return begins_; }
 
  private:

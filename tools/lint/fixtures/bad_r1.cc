@@ -1,0 +1,16 @@
+// Seeded-bad fixture for sb7-lint R1 (atomics discipline). Never compiled —
+// the lint selftest runs the rule engines over this text and expects at
+// least two R1 findings.
+
+#include <atomic>
+
+std::atomic<int> counter{0};
+
+void DefaultedSeqCst() {
+  counter.store(1);          // no memory_order named: defaulted seq_cst
+  (void)counter.load();      // same
+}
+
+void OrderWithoutRationale() {
+  counter.fetch_add(1, std::memory_order_relaxed);  // names an order but no rationale
+}

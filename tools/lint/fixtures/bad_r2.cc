@@ -1,0 +1,13 @@
+// Seeded-bad fixture for sb7-lint R2 (raw Field access scope). Never
+// compiled — the selftest treats this file as living outside src/stm/ and
+// src/mvstm/ and expects an R2 finding for the unannotated raw access.
+
+struct Field {
+  unsigned long LoadRaw() const { return 0; }
+  void StoreRaw(unsigned long) {}
+};
+
+unsigned long SneakPastTheSeam(Field& field) {
+  field.StoreRaw(7);       // raw store outside the seam, no raw-ok: annotation
+  return field.LoadRaw();  // same
+}

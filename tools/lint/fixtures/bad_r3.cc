@@ -1,0 +1,14 @@
+// Seeded-bad fixture for sb7-lint R3 (TxObserver callbacks noexcept).
+// Never compiled — the selftest expects an R3 finding for the throwing
+// override.
+
+struct TxCommitInfo;
+
+struct Observer {
+  virtual void OnTxCommit(const TxCommitInfo&) noexcept = 0;
+  virtual ~Observer() = default;
+};
+
+struct Sloppy : Observer {
+  void OnTxCommit(const TxCommitInfo&) override;  // missing noexcept
+};

@@ -1,0 +1,29 @@
+// Clean fixture for the sb7-lint selftest: exercises every rule's *pass*
+// path and must produce zero findings.
+
+#include <atomic>
+
+struct TxCommitInfo;
+
+struct Observer {
+  virtual void OnTxCommit(const TxCommitInfo&) noexcept = 0;
+  virtual ~Observer() = default;
+};
+
+struct Careful : Observer {
+  void OnTxCommit(const TxCommitInfo&) noexcept override;
+};
+
+struct Field {
+  // raw-ok: fixture stand-in for the seam declaration itself.
+  unsigned long LoadRaw() const { return 0; }
+};
+
+std::atomic<int> counter{0};
+
+int Disciplined(Field& field) {
+  // mo: relaxed — statistical counter, no ordering needed.
+  counter.fetch_add(1, std::memory_order_relaxed);
+  // raw-ok: fixture demonstrating an annotated out-of-seam read.
+  return static_cast<int>(field.LoadRaw());
+}
