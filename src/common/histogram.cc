@@ -13,23 +13,23 @@ TtcHistogram::TtcHistogram(int linear_buckets) : linear_buckets_(linear_buckets)
 
 void TtcHistogram::EnsureBuckets() {
   if (counts_.empty()) {
-    counts_.assign(static_cast<size_t>(linear_buckets_) + kOverflowBuckets, 0);
+    counts_.assign(static_cast<size_t>(BucketCount(linear_buckets_)), 0);
   }
 }
 
-int TtcHistogram::BucketFor(int64_t nanos) const {
+int TtcHistogram::BucketIndex(int64_t nanos, int linear_buckets) {
   const int64_t ms = nanos / 1'000'000;
-  if (ms < linear_buckets_) {
+  if (ms < linear_buckets) {
     return static_cast<int>(ms);
   }
   // Geometric range: find k with linear * 2^k <= ms < linear * 2^(k+1).
   int k = 0;
-  int64_t bound = static_cast<int64_t>(linear_buckets_) * 2;
+  int64_t bound = static_cast<int64_t>(linear_buckets) * 2;
   while (k + 1 < kOverflowBuckets && ms >= bound) {
     bound *= 2;
     ++k;
   }
-  return linear_buckets_ + k;
+  return linear_buckets + k;
 }
 
 int64_t TtcHistogram::BucketLowerMillis(int i) const {
@@ -37,6 +37,13 @@ int64_t TtcHistogram::BucketLowerMillis(int i) const {
     return i;
   }
   return static_cast<int64_t>(linear_buckets_) << (i - linear_buckets_);
+}
+
+int64_t TtcHistogram::BucketUpperMillis(int i) const {
+  if (i < linear_buckets_) {
+    return i + 1;
+  }
+  return static_cast<int64_t>(linear_buckets_) << (i - linear_buckets_ + 1);
 }
 
 void TtcHistogram::Record(int64_t nanos) {
@@ -63,6 +70,22 @@ void TtcHistogram::Merge(const TtcHistogram& other) {
   max_nanos_ = std::max(max_nanos_, other.max_nanos_);
 }
 
+TtcHistogram TtcHistogram::Delta(const TtcHistogram& end, const TtcHistogram& begin) {
+  SB7_CHECK(end.linear_buckets_ == begin.linear_buckets_);
+  TtcHistogram delta(end.linear_buckets_);
+  if (!end.counts_.empty()) {
+    delta.EnsureBuckets();
+    for (size_t i = 0; i < end.counts_.size(); ++i) {
+      const int64_t before = begin.counts_.empty() ? 0 : begin.counts_[i];
+      delta.counts_[i] = std::max<int64_t>(end.counts_[i] - before, 0);
+      delta.total_count_ += delta.counts_[i];
+    }
+  }
+  delta.sum_nanos_ = std::max<int64_t>(end.sum_nanos_ - begin.sum_nanos_, 0);
+  delta.max_nanos_ = end.max_nanos_;
+  return delta;
+}
+
 double TtcHistogram::MeanMillis() const {
   if (total_count_ == 0) {
     return 0.0;
@@ -75,15 +98,25 @@ double TtcHistogram::QuantileMillis(double q) const {
     return 0.0;
   }
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<int64_t>(std::ceil(q * static_cast<double>(total_count_)));
-  int64_t seen = 0;
+  const double max_ms = static_cast<double>(max_nanos_) / 1e6;
+  const double target = q * static_cast<double>(total_count_);
+  double seen = 0.0;
   for (size_t i = 0; i < counts_.size(); ++i) {
-    seen += counts_[i];
-    if (seen >= target) {
-      return static_cast<double>(BucketLowerMillis(static_cast<int>(i)));
+    if (counts_[i] == 0) {
+      continue;
     }
+    const double after = seen + static_cast<double>(counts_[i]);
+    if (after >= target) {
+      const auto lower = static_cast<double>(BucketLowerMillis(static_cast<int>(i)));
+      const auto upper = static_cast<double>(BucketUpperMillis(static_cast<int>(i)));
+      const double frac = (target - seen) / static_cast<double>(counts_[i]);
+      return std::min(lower + (upper - lower) * frac, max_ms);
+    }
+    seen = after;
   }
-  return static_cast<double>(BucketLowerMillis(static_cast<int>(counts_.size()) - 1));
+  // Reachable only on a racy concurrent snapshot where total outran the
+  // bucket counts; the recorded max is the honest fallback.
+  return max_ms;
 }
 
 std::string TtcHistogram::Format() const {
@@ -100,6 +133,65 @@ std::string TtcHistogram::Format() const {
     out += std::to_string(counts_[i]);
   }
   return out;
+}
+
+ConcurrentTtcHistogram::ConcurrentTtcHistogram(int linear_buckets)
+    : linear_buckets_(linear_buckets) {
+  SB7_CHECK(linear_buckets > 0);
+  stripes_.reserve(kStripes);
+  for (int s = 0; s < kStripes; ++s) {
+    stripes_.push_back(std::make_unique<Stripe>(TtcHistogram::BucketCount(linear_buckets_)));
+  }
+}
+
+namespace {
+
+// Stable per-thread stripe assignment: round-robin at first touch, so up to
+// kStripes concurrent recorders never share a cache line.
+size_t ThreadStripeIndex(size_t stripes) {
+  // mo: relaxed — the counter only spreads threads across stripes; no other
+  // state is published through it.
+  static std::atomic<size_t> next_thread{0};
+  thread_local const size_t assigned = next_thread.fetch_add(1, std::memory_order_relaxed);
+  return assigned % stripes;
+}
+
+}  // namespace
+
+void ConcurrentTtcHistogram::Record(int64_t nanos) {
+  if (nanos < 0) {
+    nanos = 0;
+  }
+  Stripe& stripe = *stripes_[ThreadStripeIndex(stripes_.size())];
+  const int bucket = TtcHistogram::BucketIndex(nanos, linear_buckets_);
+  // mo: relaxed — monotonic tallies; the sampler derives totals from the
+  // bucket counts themselves, so no cross-field ordering is required.
+  stripe.counts[static_cast<size_t>(bucket)].fetch_add(1, std::memory_order_relaxed);
+  stripe.sum.fetch_add(nanos, std::memory_order_relaxed);
+  // mo: relaxed — monotone max; a lost race simply retries with the larger
+  // observed value.
+  int64_t prev = stripe.max.load(std::memory_order_relaxed);
+  while (nanos > prev &&
+         !stripe.max.compare_exchange_weak(prev, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+TtcHistogram ConcurrentTtcHistogram::Snapshot() const {
+  TtcHistogram merged(linear_buckets_);
+  merged.EnsureBuckets();
+  for (const auto& stripe : stripes_) {
+    for (size_t i = 0; i < stripe->counts.size(); ++i) {
+      // mo: relaxed — see Record; per-bucket monotone counts.
+      const int64_t count = stripe->counts[i].load(std::memory_order_relaxed);
+      merged.counts_[i] += count;
+      merged.total_count_ += count;
+    }
+    // mo: relaxed — sum/max are advisory aggregates of the same tallies.
+    merged.sum_nanos_ += stripe->sum.load(std::memory_order_relaxed);
+    merged.max_nanos_ =
+        std::max(merged.max_nanos_, stripe->max.load(std::memory_order_relaxed));
+  }
+  return merged;
 }
 
 }  // namespace sb7

@@ -34,6 +34,13 @@ std::string UsageText() {
                          (default 1 = all; attribution always sees every tx)
   --trace-buffer <n>     per-thread trace ring capacity in events (default
                          65536, rounded up to a power of two)
+  --telemetry <file>     sample live telemetry during the run and write the
+                         series as versioned JSONL (see docs/OBSERVABILITY.md)
+  --telemetry-interval <sec>
+                         sampler tick interval in seconds (default 1)
+  --metrics-port <n>     serve /metrics (Prometheus text) and /series (JSON)
+                         on this TCP port during the run (0 = ephemeral)
+  --no-hw-counters       skip the perf_event hardware counters
   --verify               check all structure invariants after the run
   --check-opacity        record committed read/write sets and verify the
                          history is opaque (STM strategies only)
@@ -63,6 +70,7 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
   bool fuzz_seed_given = false;
   bool fuzz_sweep_flag_given = false;  // --fuzz-cases / --fuzz-budget
   bool trace_knob_given = false;       // --trace-sample / --trace-buffer
+  bool telemetry_knob_given = false;   // --telemetry-interval / --no-hw-counters
   // The --fuzz-* companion flags may appear in any order relative to --fuzz.
   auto fuzz_cli = [&result]() -> FuzzCli& {
     if (!result.fuzz.has_value()) {
@@ -197,6 +205,29 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
       }
       config.trace_buffer = static_cast<size_t>(capacity);
       trace_knob_given = true;
+    } else if (arg == "--telemetry") {
+      if (!next(value) || value.empty()) {
+        return fail("--telemetry requires a file path");
+      }
+      config.telemetry = true;
+      config.telemetry_path = value;
+    } else if (arg == "--telemetry-interval") {
+      double seconds = 0;
+      if (!next(value) || !ParseDouble(value, seconds) || seconds <= 0) {
+        return fail("--telemetry-interval requires a positive number of seconds");
+      }
+      config.telemetry_interval = seconds;
+      telemetry_knob_given = true;
+    } else if (arg == "--metrics-port") {
+      int64_t port = 0;
+      if (!next(value) || !ParseInt64(value, port) || port < 0 || port > 65535) {
+        return fail("--metrics-port requires a port number in [0,65535]");
+      }
+      config.telemetry = true;
+      config.metrics_port = static_cast<int>(port);
+    } else if (arg == "--no-hw-counters") {
+      config.telemetry_hw = false;
+      telemetry_knob_given = true;
     } else if (arg == "--verify") {
       config.verify_invariants = true;
     } else if (arg == "--check-opacity") {
@@ -281,6 +312,11 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
   }
   if (trace_knob_given && !config.trace) {
     return fail("--trace-sample/--trace-buffer only apply with --trace <file>");
+  }
+  if (telemetry_knob_given && !config.telemetry) {
+    return fail(
+        "--telemetry-interval/--no-hw-counters only apply with --telemetry <file> "
+        "or --metrics-port <n>");
   }
   return result;
 }

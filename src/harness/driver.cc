@@ -44,6 +44,22 @@ BenchmarkRunner::BenchmarkRunner(const BenchConfig& config) : config_(config) {
     tracer_ = std::make_unique<trace::Tracer>(options);
   }
 
+  if (config_.telemetry || !config_.telemetry_path.empty() || config_.metrics_port >= 0) {
+    config_.telemetry = true;
+    telemetry::TelemetryOptions options;
+    options.interval_seconds = config_.telemetry_interval;
+    options.hw_counters = config_.telemetry_hw;
+    options.metrics_port = config_.metrics_port;
+    telemetry_ = std::make_unique<telemetry::Telemetry>(options);
+    // Hardware counters must open before the worker threads exist —
+    // perf_event inherit only covers threads spawned afterwards.
+    telemetry_->StartHw();
+    telemetry_->SetStmSource([this]() { return StmSnapshot(); });
+    if (tracer_ != nullptr) {
+      telemetry_->SetTraceDroppedSource([this]() { return tracer_->TotalDropped(); });
+    }
+  }
+
   DataHolder::Setup setup;
   setup.params = Parameters::ForName(config_.scale);
   setup.index_kind = config_.index_kind.value_or(DefaultIndexKindFor(config_.strategy));
@@ -95,6 +111,47 @@ BenchmarkRunner::BenchmarkRunner(const BenchConfig& config) : config_(config) {
       ratios_[i] += weight * phase->ratios[i];
     }
   }
+
+  if (telemetry_ != nullptr) {
+    telemetry::RunInfo info;
+    info.backend = config_.strategy;
+    info.scenario = config_.scenario.has_value() ? config_.scenario->name : "-";
+    info.scale = config_.scale;
+    info.threads = spawn_threads_;
+    telemetry_->SetRunInfo(std::move(info));
+    // Live phase/arrival-queue state: gauges read the current phase's
+    // runtime through the same acquire index the workers use, so a scrape
+    // mid-run sees the phase that is actually executing.
+    auto current = [this]() -> const PhaseRuntime* {
+      const int p = current_phase_.load(std::memory_order_acquire);
+      if (p < 0 || p >= static_cast<int>(phases_.size())) {
+        return nullptr;
+      }
+      return phases_[p].get();
+    };
+    telemetry_->registry().AddGauge(
+        "sb7_phase_active_threads", "Worker threads active in the current phase",
+        [current]() {
+          const PhaseRuntime* phase = current();
+          return phase != nullptr ? static_cast<double>(phase->active_threads) : 0.0;
+        });
+    telemetry_->registry().AddGauge(
+        "sb7_phase_target_rate", "Open-loop arrival rate of the current phase (op/s; 0 = closed loop)",
+        [current]() {
+          const PhaseRuntime* phase = current();
+          return phase != nullptr && phase->spec.arrival != ArrivalModel::kClosed
+                     ? phase->spec.rate_ops_per_sec
+                     : 0.0;
+        });
+    telemetry_->registry().AddGauge(
+        "sb7_phase_executed_total", "Operations executed in the current phase",
+        [current]() {
+          const PhaseRuntime* phase = current();
+          return phase != nullptr ? static_cast<double>(
+                                        phase->executed.load(std::memory_order_relaxed))
+                                  : 0.0;
+        });
+  }
 }
 
 StmStats::View BenchmarkRunner::StmSnapshot() const {
@@ -124,6 +181,10 @@ void BenchmarkRunner::BeginPhaseLocked(int phase_index) {
   if (tracer_ != nullptr) {
     acc.conflict_begin = tracer_->ConflictSnapshot();
   }
+  if (telemetry_ != nullptr) {
+    acc.hw_begin = telemetry_->HwNow();
+    telemetry_->SetPhase(phase_index, phase.spec.name);
+  }
 }
 
 void BenchmarkRunner::FinishPhaseLocked(int phase_index) {
@@ -133,6 +194,9 @@ void BenchmarkRunner::FinishPhaseLocked(int phase_index) {
   acc.hot_end = ReadHotspotCounters();
   if (tracer_ != nullptr) {
     acc.conflict_end = tracer_->ConflictSnapshot();
+  }
+  if (telemetry_ != nullptr) {
+    acc.hw_end = telemetry_->HwNow();
   }
 }
 
@@ -282,9 +346,16 @@ void BenchmarkRunner::WorkerLoop(int worker_index, Rng rng,
     SetTxOpContext(index);
     try {
       strategy_->Execute(*ops[index], *data_, rng);
-      metrics[p][index].RecordSuccess(NowNanos() - begin);
+      const int64_t latency = NowNanos() - begin;
+      metrics[p][index].RecordSuccess(latency);
+      if (telemetry_ != nullptr) {
+        telemetry_->RecordOp(true, latency);
+      }
     } catch (const OperationFailed&) {
       metrics[p][index].RecordFailure();
+      if (telemetry_ != nullptr) {
+        telemetry_->RecordOp(false, 0);
+      }
     }
     SetTxOpContext(-1);
     phase.executed.fetch_add(1, std::memory_order_relaxed);
@@ -311,6 +382,9 @@ BenchResult BenchmarkRunner::Run() {
   }
   current_phase_.store(0, std::memory_order_release);
   const int64_t start = accounting_[0].start_nanos;
+  if (telemetry_ != nullptr) {
+    telemetry_->Start();
+  }
 
   if (spawn_threads_ == 1) {
     // In-thread execution keeps single-threaded runs fully deterministic,
@@ -340,6 +414,12 @@ BenchResult BenchmarkRunner::Run() {
       FinishPhaseLocked(p);
       current_phase_.store(static_cast<int>(phase_count), std::memory_order_relaxed);
     }
+  }
+  if (telemetry_ != nullptr) {
+    // Takes the tail sample, joins the sampler and shuts the exposition
+    // server; the sampled series stays readable (and flushable as JSONL)
+    // for the runner's lifetime.
+    telemetry_->Stop();
   }
   if (tracer_ != nullptr) {
     tracer_->Uninstall();
@@ -379,6 +459,7 @@ BenchResult BenchmarkRunner::Run() {
     pr.stm = StmStats::View::Subtract(acc.stm_end, acc.stm_begin);
     pr.hot_samples = acc.hot_end.samples - acc.hot_begin.samples;
     pr.hot_hits = acc.hot_end.hot_hits - acc.hot_begin.hot_hits;
+    pr.hw = telemetry::HwSample::Delta(acc.hw_end, acc.hw_begin);
     if (tracer_ != nullptr) {
       pr.conflicts = tracer_->SummarizeWindow(acc.conflict_end, acc.conflict_begin, kConflictTopK);
     }
@@ -391,6 +472,14 @@ BenchResult BenchmarkRunner::Run() {
   result.elapsed_seconds = NanosToSeconds(end - start);
   if (Stm* stm = strategy_->stm()) {
     result.stm = stm->stats().Snapshot();
+  }
+  // Whole-run hardware window: first begun phase to last finished phase (a
+  // global op cap can leave trailing phases that never began).
+  for (auto it = accounting_.rbegin(); it != accounting_.rend(); ++it) {
+    if (it->end_nanos != 0) {
+      result.hw = telemetry::HwSample::Delta(it->hw_end, accounting_.front().hw_begin);
+      break;
+    }
   }
   if (tracer_ != nullptr) {
     result.traced = true;

@@ -26,6 +26,7 @@
 #include "src/harness/workload.h"
 #include "src/scenario/scenario.h"
 #include "src/strategy/strategy.h"
+#include "src/telemetry/telemetry.h"
 #include "src/trace/tracer.h"
 
 namespace sb7 {
@@ -71,6 +72,22 @@ struct BenchConfig {
   // Per-thread event-ring capacity in events, rounded up to a power of two
   // (CLI --trace-buffer).
   size_t trace_buffer = 1 << 16;
+  // Install the live telemetry subsystem (src/telemetry/): background
+  // sampler, metrics registry, hardware counters. Implied by a non-empty
+  // telemetry_path or a metrics_port >= 0; sb7-bench sets it directly to
+  // keep the series in memory for steady-state detection.
+  bool telemetry = false;
+  // When non-empty, the CLI flushes the sampled series as a versioned JSONL
+  // artifact here (CLI --telemetry; implies `telemetry`).
+  std::string telemetry_path;
+  // Sampler tick interval in seconds (CLI --telemetry-interval).
+  double telemetry_interval = 1.0;
+  // TCP port for the /metrics + /series exposition endpoint; -1 = off,
+  // 0 = ephemeral (CLI --metrics-port; implies `telemetry`).
+  int metrics_port = -1;
+  // Open perf_event hardware counters for the run (graceful no-op when
+  // unavailable); only meaningful with telemetry enabled.
+  bool telemetry_hw = true;
   // When non-empty, the CLI writes a machine-readable CSV here.
   std::string csv_path;
   // When non-empty, the CLI writes a machine-readable JSON report here.
@@ -103,6 +120,11 @@ class BenchmarkRunner {
   // runner's lifetime — the CLI drains it for the timeline export after
   // Run() returns.
   trace::Tracer* tracer() const { return tracer_.get(); }
+  // The run's telemetry facade; null unless the config enabled telemetry.
+  // Valid for the runner's lifetime — the CLI starts the exposition server
+  // before Run() and flushes the JSONL artifact after; sb7-bench reads the
+  // series for steady-state detection.
+  telemetry::Telemetry* telemetry() const { return telemetry_.get(); }
 
  private:
   // One scenario phase, resolved against the run-level configuration.
@@ -130,6 +152,10 @@ class BenchmarkRunner {
     // Conflict-table snapshots at the phase boundaries (tracing runs only).
     trace::ConflictTable::Snapshot conflict_begin;
     trace::ConflictTable::Snapshot conflict_end;
+    // Hardware-counter readings at the phase boundaries (telemetry runs
+    // with perf_event available only; {available=false} otherwise).
+    telemetry::HwSample hw_begin;
+    telemetry::HwSample hw_end;
   };
 
   // Per-worker open-loop pacing state for one phase.
@@ -154,6 +180,7 @@ class BenchmarkRunner {
   std::unique_ptr<SyncStrategy> strategy_;
   std::unique_ptr<DataHolder> data_;
   std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
   std::vector<double> ratios_;
   int spawn_threads_ = 1;
 

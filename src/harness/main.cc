@@ -144,6 +144,21 @@ int main(int argc, char** argv) {
   if (record_opacity) {
     recorder.Install();
   }
+  if (cli.config.metrics_port >= 0 && runner.telemetry() != nullptr) {
+    std::string error;
+    if (runner.telemetry()->StartServer(&error)) {
+      std::cerr << "metrics endpoint listening on port " << runner.telemetry()->server_port()
+                << " (/metrics, /series)\n";
+    } else {
+      std::cerr << "warning: metrics endpoint disabled: " << error << "\n";
+    }
+  }
+  if (runner.telemetry() != nullptr && !runner.telemetry()->hw_available()) {
+    const std::string& detail = runner.telemetry()->hw_detail();
+    if (!detail.empty()) {
+      std::cerr << "note: hardware counters unavailable: " << detail << "\n";
+    }
+  }
   const sb7::BenchResult result = runner.Run();
   if (record_opacity) {
     recorder.Uninstall();
@@ -173,6 +188,17 @@ int main(int argc, char** argv) {
     sb7::trace::WriteChromeTrace(trace, runner.tracer()->DrainEvents(), options);
     std::cerr << "trace timeline written to " << cli.config.trace_path
               << " (open in Perfetto or chrome://tracing)\n";
+  }
+
+  if (!cli.config.telemetry_path.empty()) {
+    std::ofstream telemetry(cli.config.telemetry_path);
+    if (!telemetry) {
+      std::cerr << "error: cannot write " << cli.config.telemetry_path << "\n";
+      return 2;
+    }
+    runner.telemetry()->WriteJsonl(telemetry);
+    std::cerr << "telemetry series written to " << cli.config.telemetry_path << " ("
+              << runner.telemetry()->SeriesSnapshot().size() << " samples)\n";
   }
 
   if (!cli.config.json_path.empty()) {

@@ -15,6 +15,7 @@
 #include "src/perf/report.h"
 #include "src/perf/runner.h"
 #include "src/perf/stats.h"
+#include "src/telemetry/series.h"
 
 namespace {
 
@@ -39,8 +40,13 @@ std::string UsageText() {
   --seed <n>             override the base RNG seed
   --trace-cells          install the tracer for every cell and record a
                          per-cell conflict summary in the artifact
+  --no-telemetry         run the cells without the live telemetry sampler
+                         (drops the steady_state/hw blocks; overhead A/B runs)
   --validate-json <file> parse a JSON file (e.g. a --trace timeline) with the
                          in-tree parser and exit 0 iff it is well-formed
+  --validate-jsonl <file>
+                         validate a --telemetry JSONL series against the
+                         telemetry schema and exit 0 iff it conforms
   --quiet                suppress per-cell progress on stderr
   --help                 show this message
 Environment (between spec defaults and flags in precedence):
@@ -63,7 +69,9 @@ struct Options {
   uint64_t seed = 0;
   bool seed_given = false;
   bool trace_cells = false;
+  bool telemetry = true;
   std::string validate_json_path;
+  std::string validate_jsonl_path;
   bool quiet = false;
   bool list = false;
   bool help = false;
@@ -156,9 +164,15 @@ Options ParseArgs(int argc, char** argv) {
       options.seed_given = true;
     } else if (arg == "--trace-cells") {
       options.trace_cells = true;
+    } else if (arg == "--no-telemetry") {
+      options.telemetry = false;
     } else if (arg == "--validate-json") {
       if (!next(options.validate_json_path) || options.validate_json_path.empty()) {
         return fail("--validate-json requires a file path");
+      }
+    } else if (arg == "--validate-jsonl") {
+      if (!next(options.validate_jsonl_path) || options.validate_jsonl_path.empty()) {
+        return fail("--validate-jsonl requires a file path");
       }
     } else if (arg == "--quiet") {
       options.quiet = true;
@@ -167,8 +181,11 @@ Options ParseArgs(int argc, char** argv) {
     }
   }
   if (options.error.empty() && !options.list && options.sweep.empty() &&
-      options.compare_path.empty() && options.validate_json_path.empty()) {
-    return fail("nothing to do: pass --sweep, --compare, --validate-json or --list");
+      options.compare_path.empty() && options.validate_json_path.empty() &&
+      options.validate_jsonl_path.empty()) {
+    return fail(
+        "nothing to do: pass --sweep, --compare, --validate-json, --validate-jsonl "
+        "or --list");
   }
   if (options.error.empty() && !options.against_path.empty() &&
       options.compare_path.empty()) {
@@ -242,6 +259,23 @@ int RunValidateJson(const std::string& path) {
   return 0;
 }
 
+// Validates a --telemetry JSONL series (header/sample/footer lines, schema
+// version, key sets, monotone seq/t_s). Used by the CI telemetry smoke job.
+int RunValidateJsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return 2;
+  }
+  const std::string error = sb7::telemetry::ValidateTelemetryJsonl(in);
+  if (!error.empty()) {
+    std::cerr << "INVALID telemetry JSONL in " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << path << ": valid telemetry series\n";
+  return 0;
+}
+
 int RunCompareOnly(const Options& options) {
   const sb7::perf::BaselineLoadResult base =
       sb7::perf::LoadBaselineFile(options.compare_path);
@@ -283,6 +317,9 @@ int main(int argc, char** argv) {
   if (!options.validate_json_path.empty()) {
     return RunValidateJson(options.validate_json_path);
   }
+  if (!options.validate_jsonl_path.empty()) {
+    return RunValidateJsonl(options.validate_jsonl_path);
+  }
   if (options.sweep.empty()) {
     return RunCompareOnly(options);
   }
@@ -302,6 +339,7 @@ int main(int argc, char** argv) {
 
   sb7::perf::SweepRunOptions run_options;
   run_options.trace_cells = options.trace_cells;
+  run_options.telemetry = options.telemetry;
   if (!options.quiet) {
     run_options.log = &std::cerr;
     std::cerr << "sweep '" << spec.name << "': "

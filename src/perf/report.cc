@@ -103,7 +103,8 @@ void WriteSweepJson(std::ostream& out, const SweepResult& result) {
   out << "  \"metric\": " << JsonString(std::string(SweepMetricName(spec.metric))) << ",\n";
   out << "  \"config\": {\"seconds\": " << spec.seconds << ", \"warmup\": " << spec.warmup
       << ", \"reps\": " << spec.reps << ", \"seed\": " << spec.seed
-      << ", \"threshold\": " << spec.threshold << "},\n";
+      << ", \"threshold\": " << spec.threshold
+      << ", \"cv_threshold\": " << spec.cv_threshold << "},\n";
 
   out << "  \"axes\": {\n";
   WriteStringAxis(out, "backends", spec.backends);
@@ -159,6 +160,20 @@ void WriteSweepJson(std::ostream& out, const SweepResult& result) {
     if (cell.traced) {
       out << ",\n      \"conflicts\": ";
       WriteConflictsBlock(out, cell.conflicts, "      ");
+    }
+    if (cell.telemetry) {
+      const SteadyState& steady = cell.steady;
+      out << ",\n      \"steady_state\": {\"samples\": " << steady.samples
+          << ", \"detected\": " << (steady.detected ? "true" : "false")
+          << ", \"steady_at_s\": " << steady.steady_at_s
+          << ", \"tail_cv\": " << steady.tail_cv << ", \"warmup_s\": " << steady.warmup_s
+          << ", \"warmup_covered\": " << (steady.warmup_covered ? "true" : "false") << "}";
+    }
+    if (cell.has_hw) {
+      out << ",\n      \"hw\": {\"cycles\": " << cell.hw.cycles
+          << ", \"instructions\": " << cell.hw.instructions
+          << ", \"llc_misses\": " << cell.hw.llc_misses
+          << ", \"stalled_cycles\": " << cell.hw.stalled_cycles << "}";
     }
     out << "\n    }";
   }

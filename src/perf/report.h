@@ -24,6 +24,15 @@
 ///            {total_aborts, attributed_aborts, dropped_events,
 ///             top_locations: [{key, aborts}],
 ///             top_pairs: [{victim, writer, aborts}]}
+/// Schema 3 adds "cv_threshold" to the config block and, for sweeps run
+/// with live telemetry (the default), a per-cell "steady_state" block —
+/// the CV-window detector's verdict over the median repetition's
+/// throughput series:
+///            {samples, detected, steady_at_s, tail_cv, warmup_s,
+///             warmup_covered}
+/// and, when perf_event counters opened, a per-cell "hw" block (deltas
+/// summed over the median repetition's measure phases):
+///            {cycles, instructions, llc_misses, stalled_cycles}
 /// Readers accept any schema in [1, current] (--compare treats the added
 /// keys as optional). Changing any of this is a schema bump and must
 /// update the golden test.
@@ -38,7 +47,7 @@
 namespace sb7::perf {
 
 /// The BENCH_*.json schema version this build writes and reads.
-constexpr int kBenchSchemaVersion = 2;
+constexpr int kBenchSchemaVersion = 3;
 
 /// Writes the machine-readable sweep artifact described above.
 void WriteSweepJson(std::ostream& out, const SweepResult& result);

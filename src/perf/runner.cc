@@ -21,6 +21,11 @@ struct RepSample {
   bool has_stm = false;
   StmStats::View stm = {};
   CellConflicts conflicts;
+  // Live telemetry series of the repetition (whole run, warmup included)
+  // and the hw delta summed over the measure phases. Empty / unavailable
+  // when the sweep ran with telemetry off.
+  std::vector<telemetry::Sample> series;
+  telemetry::HwSample hw;
 
   double Throughput() const {
     return elapsed_seconds > 0 ? static_cast<double>(success) / elapsed_seconds : 0.0;
@@ -130,6 +135,13 @@ RepSample CollectRep(const SweepSpec& spec, const BenchmarkRunner& runner,
     sample.success += phase.total_success;
     sample.started += phase.total_started;
     sample.stm = StmStats::View::Add(sample.stm, phase.stm);
+    if (phase.hw.available) {
+      sample.hw.available = true;
+      sample.hw.cycles += phase.hw.cycles;
+      sample.hw.instructions += phase.hw.instructions;
+      sample.hw.llc_misses += phase.hw.llc_misses;
+      sample.hw.stalled_cycles += phase.hw.stalled_cycles;
+    }
     for (size_t q = 0; q < probe_indices.size(); ++q) {
       const int op = probe_indices[q];
       if (op < 0 || phase.per_op[op].success == 0) {
@@ -141,6 +153,9 @@ RepSample CollectRep(const SweepSpec& spec, const BenchmarkRunner& runner,
     }
   }
   sample.has_stm = runner.strategy().stm() != nullptr;
+  if (runner.telemetry() != nullptr) {
+    sample.series = runner.telemetry()->SeriesSnapshot();
+  }
 
   if (result.traced) {
     // The cell summary is the whole-run window (the per-phase snapshots are
@@ -248,6 +263,13 @@ SweepRunOutcome RunSweep(const SweepSpec& spec, const SweepRunOptions& options) 
     for (int rep = 0; rep < spec.reps; ++rep) {
       BenchConfig config = BuildCellConfig(spec, cell, rep);
       config.trace = options.trace_cells;
+      if (options.telemetry) {
+        // In-memory series only (no JSONL, no endpoint). Sample fast enough
+        // that even a sub-second cell yields a usable series for the
+        // steady-state detector, without dipping into pure-noise intervals.
+        config.telemetry = true;
+        config.telemetry_interval = std::clamp(spec.seconds / 8.0, 0.05, 1.0);
+      }
       BenchmarkRunner runner(config);
       const BenchResult result = runner.Run();
       samples.push_back(CollectRep(spec, runner, result));
@@ -287,6 +309,19 @@ SweepRunOutcome RunSweep(const SweepSpec& spec, const SweepRunOptions& options) 
     cell_result.stm = median_rep.stm;
     cell_result.traced = options.trace_cells;
     cell_result.conflicts = median_rep.conflicts;
+    cell_result.telemetry = options.telemetry;
+    if (options.telemetry) {
+      std::vector<double> t_s;
+      std::vector<double> ops_per_s;
+      for (const telemetry::Sample& s : median_rep.series) {
+        t_s.push_back(s.t_s);
+        ops_per_s.push_back(s.ops_per_s);
+      }
+      cell_result.steady =
+          DetectSteadyState(t_s, ops_per_s, spec.cv_threshold, spec.warmup);
+      cell_result.has_hw = median_rep.hw.available;
+      cell_result.hw = median_rep.hw;
+    }
     outcome.result.cells.push_back(cell_result);
 
     if (options.log != nullptr) {

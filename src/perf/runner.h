@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "src/perf/stats.h"
 #include "src/perf/sweep.h"
 #include "src/stm/stm.h"
+#include "src/telemetry/series.h"
 #include "src/trace/conflict.h"
 
 namespace sb7::perf {
@@ -87,6 +89,15 @@ struct CellResult {
   /// "conflicts" block for the cell.
   bool traced = false;
   CellConflicts conflicts;
+  /// Set when the cells ran with live telemetry; the JSON then carries a
+  /// "steady_state" block — the CV-window detector's verdict over the median
+  /// repetition's throughput series (warmup-truncation quality).
+  bool telemetry = false;
+  SteadyState steady;
+  /// Hardware-counter delta summed over the median repetition's measure
+  /// phases (telemetry runs where perf_event opened only).
+  bool has_hw = false;
+  telemetry::HwSample hw;
 };
 
 struct SweepResult {
@@ -101,6 +112,11 @@ struct SweepRunOptions {
   /// conflict summaries (sb7-bench --trace-cells). Off by default: tracing
   /// costs a few percent and the sweep artifact is a perf trajectory.
   bool trace_cells = false;
+  /// Run every cell with live telemetry (in-memory series, no endpoint, no
+  /// JSONL): feeds the steady-state detector and the hw-counter blocks of
+  /// the BENCH artifact. On by default; `sb7-bench --no-telemetry` turns it
+  /// off for overhead A/B runs.
+  bool telemetry = true;
 };
 
 struct SweepRunOutcome {

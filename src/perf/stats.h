@@ -15,8 +15,15 @@
 namespace sb7::perf {
 
 /// Median of `samples` (mean of the middle pair for even sizes).
-/// Returns 0 for an empty vector.
+/// Returns 0 for an empty vector. Equals `QuantileOf(samples, 0.5)`.
 double Median(std::vector<double> samples);
+
+/// Quantile `q` in [0,1] of `samples`, linearly interpolated between order
+/// statistics (the "R-7" convention: rank = q * (n - 1)). This is the same
+/// interpolation convention as TtcHistogram::QuantileMillis, so harness
+/// percentiles and bench aggregates agree on what a "p50" means.
+/// Returns 0 for an empty vector.
+double QuantileOf(std::vector<double> samples, double q);
 
 /// Smallest sample, or 0 for an empty vector.
 double MinOf(const std::vector<double>& samples);
@@ -44,6 +51,29 @@ struct BenchEnv {
 
 /// Reads the `SB7_BENCH_*` environment knobs (invalid values are ignored).
 BenchEnv ReadBenchEnv();
+
+/// Steady-state verdict over a throughput time series (the live telemetry
+/// samples of one repetition). The run is declared steady at the first
+/// sample where the trailing `window` samples have a coefficient of
+/// variation (stddev / mean) at or below `cv_threshold`.
+struct SteadyState {
+  int samples = 0;          ///< series length the detector saw
+  bool detected = false;    ///< a qualifying window was found
+  double steady_at_s = 0.0; ///< run time of the first steady sample (start of window)
+  double tail_cv = 0.0;     ///< CV of the final window (noise floor indicator)
+  double warmup_s = 0.0;    ///< configured warmup the cell discarded
+  /// True when the configured warmup covers the detected settling point —
+  /// i.e. the measured window was genuinely steady. False flags cells whose
+  /// reported throughput still contains warmup transient.
+  bool warmup_covered = false;
+};
+
+/// Runs the CV-window detector over `(t_s, ops_per_s)` pairs. `warmup_s` is
+/// the warmup the sweep discarded before its measured window (used only for
+/// the `warmup_covered` verdict). Series shorter than `window` never detect.
+SteadyState DetectSteadyState(const std::vector<double>& t_s,
+                              const std::vector<double>& ops_per_s,
+                              double cv_threshold, double warmup_s, int window = 5);
 
 }  // namespace sb7::perf
 

@@ -191,6 +191,9 @@ std::string SweepSpec::Validate() {
   if (threshold <= 0 || threshold >= 1) {
     return "threshold must be in (0, 1)";
   }
+  if (cv_threshold <= 0 || cv_threshold > 1) {
+    return "cv_threshold must be in (0, 1]";
+  }
   if (title.empty()) {
     title = name;
   }
@@ -498,6 +501,10 @@ SweepParseResult ParseSweepSpec(std::istream& in, std::string_view default_name)
     } else if (key == "threshold") {
       if (!ParseDouble(value, spec.threshold)) {
         return fail("invalid threshold: " + value);
+      }
+    } else if (key == "cv_threshold") {
+      if (!ParseDouble(value, spec.cv_threshold)) {
+        return fail("invalid cv_threshold: " + value);
       }
     } else if (key == "max_ops") {
       if (!ParseInt64(value, spec.max_ops)) {

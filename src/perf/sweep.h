@@ -83,6 +83,9 @@ struct SweepSpec {
   uint64_t seed = 20070326;  ///< base RNG seed; repetition r uses seed + r
   /// Relative noise threshold for `--compare` (overridable on the CLI).
   double threshold = 0.15;
+  /// Coefficient-of-variation threshold for the steady-state detector that
+  /// runs over each cell's live telemetry series (in (0,1]).
+  double cv_threshold = 0.10;
   /// Optional started-operation cap applied to every phase of every cell
   /// (a capped phase ends as soon as it fills — determinism in tests).
   int64_t max_ops = -1;
@@ -121,6 +124,7 @@ struct SweepParseResult {
 ///   mixes=full,short,...      axis: operation-mix presets (see MixPreset)
 ///   probes=T1,T2b             latency probe operations
 ///   seconds=<f> warmup=<f> reps=<n> seed=<n> threshold=<f> max_ops=<n>
+///   cv_threshold=<f>          steady-state CV threshold in (0,1]
 /// The parsed spec is validated before being returned.
 SweepParseResult ParseSweepSpec(std::istream& in, std::string_view default_name);
 

@@ -94,6 +94,17 @@ struct StmStats {
 #undef SB7_STM_STATS_ADD_FIELD
       return sum;
     }
+    /// Visits every counter as ("name", value), in X-macro order. Generic
+    /// exporters (the telemetry JSONL writer and the Prometheus endpoint)
+    /// iterate this instead of naming fields, so a counter added to
+    /// SB7_STM_STATS_FIELDS appears in every live-metrics surface with no
+    /// further wiring.
+    template <typename Fn>
+    void ForEachField(Fn&& fn) const {
+#define SB7_STM_STATS_VISIT_FIELD(name) fn(#name, name);
+      SB7_STM_STATS_FIELDS(SB7_STM_STATS_VISIT_FIELD)
+#undef SB7_STM_STATS_VISIT_FIELD
+    }
   };
 
   // mo: relaxed — counters are monotonic tallies read after the worker

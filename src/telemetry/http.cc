@@ -1,0 +1,219 @@
+#include "src/telemetry/http.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SB7_HAVE_SOCKETS 1
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+namespace sb7::telemetry {
+
+void MetricsHttpServer::Handle(std::string path, std::string content_type,
+                               Handler handler) {
+  routes_[std::move(path)] = Route{std::move(content_type), std::move(handler)};
+}
+
+#if defined(SB7_HAVE_SOCKETS)
+
+namespace {
+
+// How long one poll round blocks: the Stop() latency ceiling.
+constexpr int kPollMillis = 100;
+
+// Requests beyond this are broken clients, not scrapes.
+constexpr size_t kMaxRequestBytes = 8192;
+
+void WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) {
+      return;  // client went away; nothing to clean up beyond the close
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.0 200 OK";
+    case 404:
+      return "HTTP/1.0 404 Not Found";
+    case 405:
+      return "HTTP/1.0 405 Method Not Allowed";
+    default:
+      return "HTTP/1.0 400 Bad Request";
+  }
+}
+
+std::string MakeResponse(int code, const std::string& content_type,
+                         const std::string& body) {
+  std::ostringstream out;
+  out << StatusLine(code) << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+}  // namespace
+
+bool MetricsHttpServer::Start(int port, std::string* error) {
+  auto fail = [error](const std::string& what) {
+    if (error != nullptr) {
+      *error = what + ": " + std::strerror(errno);
+    }
+    return false;
+  };
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return fail("socket");
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return fail("bind to port " + std::to_string(port));
+  }
+  if (listen(listen_fd_, 16) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  } else {
+    port_ = port;
+  }
+  // mo: release — publishes the bound socket/port to running() readers.
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this]() { Serve(); });
+  return true;
+}
+
+void MetricsHttpServer::Serve() {
+  // mo: acquire — pairs with Start's release and Stop's acq_rel exchange.
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = poll(&pfd, 1, kPollMillis);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) {
+      continue;
+    }
+    // Drain every pending connection this round; accept stops blocking
+    // once the backlog is empty because the listener is only read after
+    // poll reported readiness (a race with a dropped client yields one
+    // spurious blocking accept at worst, bounded by the next scrape).
+    const int client = accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      continue;
+    }
+    HandleConnection(client);
+    close(client);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int client_fd) {
+  // Bounded read until the header terminator; scrape requests are tiny.
+  timeval timeout;
+  timeout.tv_sec = 2;
+  timeout.tv_usec = 0;
+  setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string request;
+  char buffer[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = recv(client_fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      break;
+    }
+    request.append(buffer, static_cast<size_t>(n));
+  }
+  // Request line: METHOD SP PATH SP VERSION.
+  const size_t method_end = request.find(' ');
+  if (method_end == std::string::npos) {
+    WriteAll(client_fd, MakeResponse(400, "text/plain", "bad request\n"));
+    return;
+  }
+  const size_t path_end = request.find(' ', method_end + 1);
+  if (path_end == std::string::npos) {
+    WriteAll(client_fd, MakeResponse(400, "text/plain", "bad request\n"));
+    return;
+  }
+  const std::string method = request.substr(0, method_end);
+  std::string path = request.substr(method_end + 1, path_end - method_end - 1);
+  if (const size_t query = path.find('?'); query != std::string::npos) {
+    path.resize(query);  // scrapers may append ?format=...; exact-match the path
+  }
+  if (method != "GET" && method != "HEAD") {
+    WriteAll(client_fd, MakeResponse(405, "text/plain", "GET only\n"));
+    return;
+  }
+  const auto route = routes_.find(path);
+  if (route == routes_.end()) {
+    WriteAll(client_fd, MakeResponse(404, "text/plain", "not found\n"));
+    return;
+  }
+  const std::string body = route->second.handler();
+  WriteAll(client_fd,
+           MakeResponse(200, route->second.content_type, method == "HEAD" ? "" : body));
+}
+
+void MetricsHttpServer::Stop() {
+  // mo: acq_rel — one winner flips the flag and joins; losers see the fd
+  // state the winner published.
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (listen_fd_ >= 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+#else  // !SB7_HAVE_SOCKETS
+
+bool MetricsHttpServer::Start(int, std::string* error) {
+  if (error != nullptr) {
+    *error = "sockets unavailable on this platform";
+  }
+  return false;
+}
+
+void MetricsHttpServer::Serve() {}
+void MetricsHttpServer::HandleConnection(int) {}
+// mo: release — stub platform; keeps the flag discipline uniform.
+void MetricsHttpServer::Stop() { running_.store(false, std::memory_order_release); }
+
+#endif
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+}  // namespace sb7::telemetry

@@ -1,0 +1,67 @@
+// Minimal HTTP/1.0 exposition endpoint: one poll-loop thread, GET-only,
+// Connection: close. Serves the handlers registered before Start() — the
+// telemetry facade mounts /metrics (Prometheus text) and /series (JSON).
+//
+// Deliberately not a web server: no keep-alive, no chunking, no TLS, one
+// request per connection, bounded request read. It exists so a running
+// benchmark can be scraped (`curl :9187/metrics`) and as the first socket
+// ingress on the sb7-serve roadmap path.
+
+#ifndef STMBENCH7_SRC_TELEMETRY_HTTP_H_
+#define STMBENCH7_SRC_TELEMETRY_HTTP_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace sb7::telemetry {
+
+class MetricsHttpServer {
+ public:
+  // Returns the response body; called on the server thread, so it must be
+  // safe to run concurrently with the benchmark's worker threads.
+  using Handler = std::function<std::string()>;
+
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Mount `handler` at `path` (exact match). Call before Start().
+  void Handle(std::string path, std::string content_type, Handler handler);
+
+  // Binds (port 0 = ephemeral; see port()), spawns the poll loop. Returns
+  // false with `error` set on bind/listen failure.
+  bool Start(int port, std::string* error);
+
+  // Joins the poll loop and closes the socket. Idempotent.
+  void Stop();
+
+  // mo: acquire — pairs with Start's release store of the bound state.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The actually-bound port (resolves ephemeral binds); -1 before Start.
+  int port() const { return port_; }
+
+ private:
+  struct Route {
+    std::string content_type;
+    Handler handler;
+  };
+
+  void Serve();
+  void HandleConnection(int client_fd);
+
+  std::map<std::string, Route> routes_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread thread_;
+  // mo: acquire/release — the poll loop re-checks this between poll rounds;
+  // release in Stop() pairs with the loop's acquire load.
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace sb7::telemetry
+
+#endif  // STMBENCH7_SRC_TELEMETRY_HTTP_H_

@@ -1,0 +1,111 @@
+#include "src/telemetry/hwcounters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace sb7::telemetry {
+
+#if defined(__linux__)
+
+namespace {
+
+int OpenEvent(uint32_t type, uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;
+  // inherit: new threads of this process are counted from their birth and
+  // read() returns the inherited sum. Incompatible with PERF_FORMAT_GROUP,
+  // which is why each event gets its own fd.
+  attr.inherit = 1;
+  // Counting user cycles only keeps the events usable at
+  // perf_event_paranoid=2 (the common distro default).
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          /*group_fd=*/-1, /*flags=*/0UL);
+  return fd < 0 ? -1 : static_cast<int>(fd);
+}
+
+int64_t ReadEvent(int fd) {
+  if (fd < 0) {
+    return 0;
+  }
+  int64_t value = 0;
+  if (read(fd, &value, sizeof(value)) != static_cast<ssize_t>(sizeof(value))) {
+    return 0;
+  }
+  return value;
+}
+
+}  // namespace
+
+bool HwCounters::Start(std::string* detail) {
+  Stop();
+  fds_[kCycles] = OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  if (fds_[kCycles] < 0) {
+    if (detail != nullptr) {
+      *detail = std::string("perf_event_open(cycles) failed: ") + std::strerror(errno) +
+                " (check /proc/sys/kernel/perf_event_paranoid)";
+    }
+    return false;
+  }
+  // The remaining events are best-effort; a closed fd reads as 0 and the
+  // exporters skip the metric.
+  fds_[kInstructions] = OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  fds_[kLlcMisses] = OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  fds_[kStalledCycles] =
+      OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND);
+  available_ = true;
+  return true;
+}
+
+HwSample HwCounters::Read() const {
+  HwSample sample;
+  if (!available_) {
+    return sample;
+  }
+  sample.available = true;
+  sample.cycles = ReadEvent(fds_[kCycles]);
+  sample.instructions = ReadEvent(fds_[kInstructions]);
+  sample.llc_misses = ReadEvent(fds_[kLlcMisses]);
+  sample.stalled_cycles = ReadEvent(fds_[kStalledCycles]);
+  return sample;
+}
+
+void HwCounters::Stop() {
+  available_ = false;
+  for (int& fd : fds_) {
+    if (fd >= 0) {
+      close(fd);
+      fd = -1;
+    }
+  }
+}
+
+#else  // !defined(__linux__)
+
+bool HwCounters::Start(std::string* detail) {
+  if (detail != nullptr) {
+    *detail = "perf_event_open is Linux-only";
+  }
+  return false;
+}
+
+HwSample HwCounters::Read() const { return HwSample{}; }
+
+void HwCounters::Stop() { available_ = false; }
+
+#endif
+
+HwCounters::~HwCounters() { Stop(); }
+
+}  // namespace sb7::telemetry

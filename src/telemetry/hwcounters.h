@@ -1,0 +1,52 @@
+// Hardware performance counters via perf_event_open(2): cycles,
+// instructions, LLC misses and backend-stalled cycles for the whole process.
+//
+// The counters are opened with inherit=1, so child threads created *after*
+// Start() are counted too — the driver opens them before spawning workers
+// and every Read() returns the sum over all worker threads. Each event is
+// individually optional (stalled-cycles in particular is unsupported on
+// many parts); the whole facility degrades to available()=false when
+// perf_event_open is missing (non-Linux), the syscall is denied
+// (perf_event_paranoid, seccomp, containers) or no event opens. Callers
+// treat an unavailable HwSample as "no data", never as zeros.
+
+#ifndef STMBENCH7_SRC_TELEMETRY_HWCOUNTERS_H_
+#define STMBENCH7_SRC_TELEMETRY_HWCOUNTERS_H_
+
+#include <string>
+
+#include "src/telemetry/series.h"
+
+namespace sb7::telemetry {
+
+class HwCounters {
+ public:
+  HwCounters() = default;
+  ~HwCounters();
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+  // Opens the events for the calling process. Must run before the counted
+  // threads are spawned (inherit only covers descendants). Returns whether
+  // at least the cycle counter opened; `detail` (optional) receives a
+  // human-readable reason when it did not.
+  bool Start(std::string* detail);
+
+  // Cumulative reading since Start; {available=false} before Start/after
+  // Stop or when Start failed. Safe from any thread.
+  HwSample Read() const;
+
+  void Stop();
+
+  bool available() const { return available_; }
+
+ private:
+  enum Slot { kCycles = 0, kInstructions, kLlcMisses, kStalledCycles, kSlotCount };
+
+  int fds_[kSlotCount] = {-1, -1, -1, -1};
+  bool available_ = false;
+};
+
+}  // namespace sb7::telemetry
+
+#endif  // STMBENCH7_SRC_TELEMETRY_HWCOUNTERS_H_

@@ -1,0 +1,82 @@
+#include "src/telemetry/registry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace sb7::telemetry {
+
+void MetricsRegistry::AddCounter(std::string name, std::string help, Reader read) {
+  AddProvider([name = std::move(name), help = std::move(help),
+               read = std::move(read)](std::vector<MetricPoint>& out) {
+    out.push_back({name, "", help, MetricKind::kCounter, read()});
+  });
+}
+
+void MetricsRegistry::AddGauge(std::string name, std::string help, Reader read) {
+  AddProvider([name = std::move(name), help = std::move(help),
+               read = std::move(read)](std::vector<MetricPoint>& out) {
+    out.push_back({name, "", help, MetricKind::kGauge, read()});
+  });
+}
+
+void MetricsRegistry::AddProvider(Provider provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_.push_back(std::move(provider));
+}
+
+std::vector<MetricPoint> MetricsRegistry::Collect() const {
+  std::vector<MetricPoint> points;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Provider& provider : providers_) {
+    provider(points);
+  }
+  return points;
+}
+
+std::string MetricsRegistry::LabelValue(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  const std::vector<MetricPoint> points = Collect();
+  std::ostringstream out;
+  out.precision(12);
+  std::set<std::string> described;
+  for (const MetricPoint& point : points) {
+    if (described.insert(point.name).second) {
+      if (!point.help.empty()) {
+        out << "# HELP " << point.name << " " << point.help << "\n";
+      }
+      out << "# TYPE " << point.name << " "
+          << (point.kind == MetricKind::kCounter ? "counter" : "gauge") << "\n";
+    }
+    out << point.name;
+    if (!point.labels.empty()) {
+      out << "{" << point.labels << "}";
+    }
+    // The format requires Go-style floats; NaN spells "NaN".
+    if (std::isnan(point.value)) {
+      out << " NaN\n";
+    } else {
+      out << " " << point.value << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace sb7::telemetry

@@ -1,0 +1,60 @@
+// Metrics registry: named counter/gauge callbacks rendered into Prometheus
+// text exposition format (version 0.0.4) by the /metrics endpoint.
+//
+// Registration happens at run setup (driver construction), before worker
+// threads exist; Collect()/RenderPrometheus() run on the sampler or HTTP
+// thread while workers are live, so every registered callback must be safe
+// to call concurrently with the run (atomic loads, snapshot merges).
+
+#ifndef STMBENCH7_SRC_TELEMETRY_REGISTRY_H_
+#define STMBENCH7_SRC_TELEMETRY_REGISTRY_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sb7::telemetry {
+
+enum class MetricKind { kCounter, kGauge };
+
+// One collected metric point. `labels` is the rendered label body without
+// braces (e.g. `backend="tl2",scenario="-"`), empty for unlabeled metrics.
+struct MetricPoint {
+  std::string name;
+  std::string labels;
+  std::string help;
+  MetricKind kind = MetricKind::kGauge;
+  double value = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  using Reader = std::function<double()>;
+  // A provider appends any number of points per collection — the shape used
+  // by block exporters (all StmStats counters, latency quantiles) that
+  // derive their points from one shared snapshot.
+  using Provider = std::function<void(std::vector<MetricPoint>&)>;
+
+  void AddCounter(std::string name, std::string help, Reader read);
+  void AddGauge(std::string name, std::string help, Reader read);
+  void AddProvider(Provider provider);
+
+  std::vector<MetricPoint> Collect() const;
+
+  // Prometheus text format: one # HELP / # TYPE pair per metric name (first
+  // occurrence wins), then `name{labels} value` lines.
+  std::string RenderPrometheus() const;
+
+  // Escapes a label value per the exposition format (backslash, quote,
+  // newline) and wraps it in quotes.
+  static std::string LabelValue(const std::string& value);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Provider> providers_;
+};
+
+}  // namespace sb7::telemetry
+
+#endif  // STMBENCH7_SRC_TELEMETRY_REGISTRY_H_

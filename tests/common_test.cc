@@ -228,6 +228,51 @@ TEST(HistogramTest, QuantilesAreMonotone) {
   EXPECT_NEAR(hist.QuantileMillis(0.5), 49.0, 2.0);
 }
 
+TEST(HistogramTest, QuantilesInterpolateWithinBuckets) {
+  // Two 1-ms buckets with two records each: the quantile walks linearly
+  // through each bucket (same convention as perf::QuantileOf) and clamps to
+  // the recorded max.
+  TtcHistogram hist;
+  hist.Record(10'500'000);  // 10.5 ms -> bucket [10, 11)
+  hist.Record(10'500'000);
+  hist.Record(20'500'000);  // 20.5 ms -> bucket [20, 21)
+  hist.Record(20'500'000);
+  EXPECT_DOUBLE_EQ(hist.QuantileMillis(0.0), 10.0);   // bucket lower bound
+  EXPECT_DOUBLE_EQ(hist.QuantileMillis(0.25), 10.5);  // halfway into bucket
+  EXPECT_DOUBLE_EQ(hist.QuantileMillis(0.5), 11.0);   // bucket upper bound
+  EXPECT_DOUBLE_EQ(hist.QuantileMillis(1.0), 20.5);   // clamped to max
+}
+
+TEST(HistogramTest, QuantileClampsToRecordedMax) {
+  TtcHistogram hist;
+  for (int i = 0; i < 10; ++i) {
+    hist.Record(5'000'000);  // all in bucket [5, 6), max 5.0 ms
+  }
+  // Interpolation alone would say 5.5 ms for p50; the recorded max is the
+  // tighter truth.
+  EXPECT_DOUBLE_EQ(hist.QuantileMillis(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(hist.QuantileMillis(1.0), 5.0);
+}
+
+TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
+  TtcHistogram hist;
+  EXPECT_DOUBLE_EQ(hist.QuantileMillis(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.MeanMillis(), 0.0);
+}
+
+TEST(HistogramTest, DeltaRecoversTheWindow) {
+  TtcHistogram begin;
+  begin.Record(2'000'000);
+  TtcHistogram end = begin;
+  end.Record(8'000'000);
+  end.Record(8'000'000);
+  const TtcHistogram window = TtcHistogram::Delta(end, begin);
+  EXPECT_EQ(window.total_count(), 2);
+  // Both window records sit in bucket [8, 9); max carries over from `end`.
+  EXPECT_GE(window.QuantileMillis(0.5), 8.0);
+  EXPECT_EQ(window.max_nanos(), 8'000'000);
+}
+
 TEST(HistogramTest, MeanMatchesData) {
   TtcHistogram hist;
   hist.Record(10'000'000);

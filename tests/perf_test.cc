@@ -43,6 +43,57 @@ TEST(PerfStatsTest, MedianIndexPicksTheSampleClosestToTheMedian) {
   EXPECT_EQ(MedianIndex({}), 0u);
 }
 
+TEST(PerfStatsTest, QuantileInterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(QuantileOf(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(QuantileOf(v, 1.0), 40.0);
+  // rank = 0.5 * 3 = 1.5 -> halfway between 20 and 30; same as Median.
+  EXPECT_DOUBLE_EQ(QuantileOf(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(QuantileOf(v, 0.5), Median(v));
+  EXPECT_DOUBLE_EQ(QuantileOf({3.0, 1.0, 2.0}, 0.5), Median({3.0, 1.0, 2.0}));
+  // rank = 0.9 * 3 = 2.7 -> 30 + 0.7 * 10.
+  EXPECT_NEAR(QuantileOf(v, 0.9), 37.0, 1e-12);
+  EXPECT_DOUBLE_EQ(QuantileOf({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileOf({5.0}, 0.99), 5.0);
+}
+
+TEST(PerfStatsTest, SteadyStateDetectorFindsTheSettlingPoint) {
+  // Ramp for 3 samples, then flat: detector should fire once the window
+  // clears the ramp.
+  std::vector<double> t = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  std::vector<double> ops = {100, 400, 800, 1000, 1010, 990, 1005, 995, 1000, 1002};
+  const SteadyState verdict = DetectSteadyState(t, ops, 0.05, 0.35, /*window=*/5);
+  EXPECT_EQ(verdict.samples, 10);
+  ASSERT_TRUE(verdict.detected);
+  // The first window free of the ramp starts at index 3 (t = 0.4).
+  EXPECT_DOUBLE_EQ(verdict.steady_at_s, 0.4);
+  EXPECT_FALSE(verdict.warmup_covered) << "0.35s warmup does not cover settling at 0.4s";
+  EXPECT_LT(verdict.tail_cv, 0.10);
+
+  const SteadyState covered = DetectSteadyState(t, ops, 0.05, 0.5, 5);
+  EXPECT_TRUE(covered.detected);
+  EXPECT_TRUE(covered.warmup_covered);
+}
+
+TEST(PerfStatsTest, SteadyStateDetectorHandlesDegenerateSeries) {
+  // Too short for the window: never detects, but reports the length.
+  const SteadyState tiny = DetectSteadyState({0.1, 0.2}, {100, 100}, 0.1, 0.0, 5);
+  EXPECT_EQ(tiny.samples, 2);
+  EXPECT_FALSE(tiny.detected);
+
+  // Monotone ramp throughout: no steady window at a tight threshold.
+  std::vector<double> t, ops;
+  for (int i = 0; i < 10; ++i) {
+    t.push_back(0.1 * (i + 1));
+    ops.push_back(100.0 * (i + 1));
+  }
+  EXPECT_FALSE(DetectSteadyState(t, ops, 0.01, 0.0, 5).detected);
+
+  // All-zero throughput (mean ~0) must not divide by zero or detect.
+  EXPECT_FALSE(DetectSteadyState({0.1, 0.2, 0.3, 0.4, 0.5}, {0, 0, 0, 0, 0}, 0.5, 0.0, 5)
+                   .detected);
+}
+
 TEST(PerfStatsTest, BenchEnvParsesThreadLists) {
   setenv("SB7_BENCH_THREADS", "1, 2 4", /*overwrite=*/1);
   setenv("SB7_BENCH_SECONDS", "2.5", 1);
@@ -282,7 +333,8 @@ TEST(BenchJsonGoldenTest, SchemaKeySetAndAxesBlockArePinned) {
   EXPECT_EQ(doc.Find("metric")->AsString(), "throughput");
 
   EXPECT_EQ(KeysOf(*doc.Find("config")),
-            (std::set<std::string>{"seconds", "warmup", "reps", "seed", "threshold"}));
+            (std::set<std::string>{"seconds", "warmup", "reps", "seed", "threshold",
+                                   "cv_threshold"}));
 
   // The axes block lists every axis, in spec order, even single-valued ones.
   const JsonValue* axes = doc.Find("axes");
@@ -308,17 +360,38 @@ TEST(BenchJsonGoldenTest, PerCellStatsKeySetIsPinned) {
   ASSERT_NE(cells, nullptr);
   ASSERT_EQ(cells->Items().size(), 2u);
 
-  const std::set<std::string> base_keys = {
+  // Schema 3: cells of a telemetry-on sweep (the default) always carry the
+  // steady_state block; the hw block appears only where perf_event opened,
+  // so the pin tolerates either (CI containers often lack perf_event).
+  std::set<std::string> base_keys = {
       "key",  "backend", "threads", "workload", "scenario",         "scale",
       "index", "cm",     "mix",     "reps",     "elapsed_median_s", "throughput_median",
-      "throughput_min", "throughput_max", "started_median", "probes"};
+      "throughput_min", "throughput_max", "started_median", "probes", "steady_state"};
   const JsonValue& coarse = cells->Items()[0];
   const JsonValue& tl2 = cells->Items()[1];
   EXPECT_EQ(coarse.Find("backend")->AsString(), "coarse");
-  EXPECT_EQ(KeysOf(coarse), base_keys) << "lock-strategy cells carry no stm block";
+  std::set<std::string> coarse_keys = base_keys;
+  if (coarse.Find("hw") != nullptr) {
+    coarse_keys.insert("hw");
+  }
+  EXPECT_EQ(KeysOf(coarse), coarse_keys) << "lock-strategy cells carry no stm block";
   std::set<std::string> stm_keys = base_keys;
   stm_keys.insert("stm");
+  if (tl2.Find("hw") != nullptr) {
+    stm_keys.insert("hw");
+  }
   EXPECT_EQ(KeysOf(tl2), stm_keys) << "STM cells append the stm counter block";
+
+  // The steady_state block's key set is pinned with the rest of the schema.
+  const JsonValue* steady = coarse.Find("steady_state");
+  ASSERT_NE(steady, nullptr);
+  EXPECT_EQ(KeysOf(*steady),
+            (std::set<std::string>{"samples", "detected", "steady_at_s", "tail_cv",
+                                   "warmup_s", "warmup_covered"}));
+  if (const JsonValue* hw = coarse.Find("hw")) {
+    EXPECT_EQ(KeysOf(*hw), (std::set<std::string>{"cycles", "instructions", "llc_misses",
+                                                  "stalled_cycles"}));
+  }
 
   // The cell key round-trips through the runner's canonical format.
   EXPECT_EQ(coarse.Find("key")->AsString(),
@@ -389,6 +462,34 @@ TEST(BenchJsonGoldenTest, TracedCellsAppendThePinnedConflictsBlock) {
   // shape (and the zeros) must still be present and parseable.
   EXPECT_GE(conflicts->Find("total_aborts")->AsNumber(), 0.0);
   ASSERT_TRUE(conflicts->Find("top_pairs")->is_array());
+}
+
+TEST(BenchJsonGoldenTest, TelemetryOffCellsDropTheSteadyStateBlock) {
+  SweepSpec spec;
+  spec.name = "golden-quiet";
+  spec.backends = {"coarse"};
+  spec.threads = {1};
+  spec.workloads = {"r"};
+  spec.scales = {"tiny"};
+  spec.seconds = 0.05;
+  spec.warmup = 0.0;
+  spec.reps = 1;
+  spec.max_ops = 200;
+  ASSERT_EQ(spec.Validate(), "");
+  SweepRunOptions options;
+  options.telemetry = false;
+  const SweepRunOutcome outcome = RunSweep(spec, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+
+  std::ostringstream out;
+  WriteSweepJson(out, outcome.result);
+  const JsonParseResult parsed = ParseJson(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const JsonValue* cells = parsed.value.Find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->Items().size(), 1u);
+  EXPECT_EQ(cells->Items()[0].Find("steady_state"), nullptr);
+  EXPECT_EQ(cells->Items()[0].Find("hw"), nullptr);
 }
 
 // ---------------------------------------------------------------- compare --

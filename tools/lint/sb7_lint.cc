@@ -4,7 +4,8 @@
 // bad fixtures under tools/lint/fixtures/ must trip every rule).
 //
 // Rules:
-//   R1  atomics discipline — in src/stm, src/mvstm, src/trace every atomic
+//   R1  atomics discipline — in src/stm, src/mvstm, src/trace, src/telemetry
+//       every atomic
 //       member op (.load/.store/.exchange/.fetch_*/.compare_exchange_*)
 //       must name a memory_order (no defaulted seq_cst) and carry a
 //       `// mo:` rationale on the same line or within the 6 preceding ones.
@@ -16,9 +17,10 @@
 //       (callbacks run inside commit/abort paths; an escaping exception
 //       would unwind through backend code holding stripe locks).
 //   R4  schema drift — the StmStats X-macro field list, kCsvSchemaVersion,
-//       and kBenchSchemaVersion must match tools/lint/schema.lock; adding
-//       a counter or changing an artifact layout without bumping the
-//       consumer schema (and the lock) is the exact drift this catches.
+//       kBenchSchemaVersion and kTelemetrySchemaVersion must match
+//       tools/lint/schema.lock; adding a counter or changing an artifact
+//       layout without bumping the consumer schema (and the lock) is the
+//       exact drift this catches.
 //       Refresh the lock deliberately with `sb7-lint --update-schema-lock`.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/environment error.
@@ -298,6 +300,7 @@ struct Schema {
   std::vector<std::string> stats_fields;
   int csv_version = -1;
   int bench_version = -1;
+  int telemetry_version = -1;
 };
 
 std::optional<int> ParseVersionConstant(const fs::path& path, const std::string& name) {
@@ -363,12 +366,16 @@ std::optional<Schema> CollectSchema(const fs::path& root, std::string* error) {
   }
   const auto csv = ParseVersionConstant(root / "src/harness/report.cc", "kCsvSchemaVersion");
   const auto bench = ParseVersionConstant(root / "src/perf/report.h", "kBenchSchemaVersion");
-  if (!csv || !bench) {
-    *error = "cannot parse kCsvSchemaVersion / kBenchSchemaVersion";
+  const auto telemetry =
+      ParseVersionConstant(root / "src/telemetry/series.h", "kTelemetrySchemaVersion");
+  if (!csv || !bench || !telemetry) {
+    *error =
+        "cannot parse kCsvSchemaVersion / kBenchSchemaVersion / kTelemetrySchemaVersion";
     return std::nullopt;
   }
   schema.csv_version = *csv;
   schema.bench_version = *bench;
+  schema.telemetry_version = *telemetry;
   return schema;
 }
 
@@ -391,6 +398,8 @@ std::optional<Schema> ReadSchemaLock(const fs::path& path, std::string* error) {
       fields >> lock.csv_version;
     } else if (key == "bench_schema_version") {
       fields >> lock.bench_version;
+    } else if (key == "telemetry_schema_version") {
+      fields >> lock.telemetry_version;
     } else if (key == "stats_fields") {
       std::string name;
       while (fields >> name) {
@@ -413,6 +422,7 @@ bool WriteSchemaLock(const fs::path& path, const Schema& schema) {
          "# consumer schema versions) with: sb7-lint --update-schema-lock\n";
   out << "csv_schema_version " << schema.csv_version << "\n";
   out << "bench_schema_version " << schema.bench_version << "\n";
+  out << "telemetry_schema_version " << schema.telemetry_version << "\n";
   out << "stats_fields";
   for (const std::string& field : schema.stats_fields) {
     out << " " << field;
@@ -441,6 +451,12 @@ void CompareSchemas(const Schema& lock, const Schema& current,
     findings->push_back({lock_file, 1, "R4",
                          "kBenchSchemaVersion is " + std::to_string(current.bench_version) +
                              " but the lock says " + std::to_string(lock.bench_version)});
+  }
+  if (lock.telemetry_version != current.telemetry_version) {
+    findings->push_back(
+        {lock_file, 1, "R4",
+         "kTelemetrySchemaVersion is " + std::to_string(current.telemetry_version) +
+             " but the lock says " + std::to_string(lock.telemetry_version)});
   }
 }
 
@@ -477,7 +493,8 @@ std::vector<Finding> LintTree(const fs::path& root, std::string* error) {
       return findings;
     }
     const bool r1_scope = HasPrefix(label, "src/stm/") || HasPrefix(label, "src/mvstm/") ||
-                          HasPrefix(label, "src/trace/");
+                          HasPrefix(label, "src/trace/") ||
+                          HasPrefix(label, "src/telemetry/");
     const bool r2_allowed = HasPrefix(label, "src/stm/") || HasPrefix(label, "src/mvstm/");
     if (r1_scope) {
       CheckAtomicsDiscipline(*file, &findings);
@@ -557,14 +574,15 @@ int RunSelfTest(const fs::path& root) {
   expect(static_cast<bool>(current), "schema parser: " + error);
   if (current) {
     expect(!current->stats_fields.empty() && current->csv_version > 0 &&
-               current->bench_version > 0,
+               current->bench_version > 0 && current->telemetry_version > 0,
            "schema parser returned implausible values");
     Schema corrupted = *current;
     corrupted.csv_version += 1;
+    corrupted.telemetry_version += 1;
     corrupted.stats_fields.push_back("bogus_counter");
     std::vector<Finding> findings;
     CompareSchemas(corrupted, *current, &findings);
-    expect(CountRule(findings, "R4") >= 2, "corrupted lock should trip R4 twice");
+    expect(CountRule(findings, "R4") >= 3, "corrupted lock should trip R4 three times");
   }
   if (failures == 0) {
     std::cout << "sb7-lint selftest: all fixtures behave\n";
