@@ -255,6 +255,83 @@ void BenchmarkRunner::WorkerLoop(int worker_index, Rng rng,
       continue;
     }
 
+    if (config_.ingress != nullptr) {
+      // Serve mode: drain admitted client requests in batches instead of
+      // sampling operations locally. The phase checks above still apply, so
+      // a scenario can reshape thread count / hotspot skew mid-serve; the
+      // arrival process itself lives on the clients, so the open-loop
+      // pacing below is skipped entirely.
+      std::vector<net::IngressRequest> batch;
+      batch.reserve(config_.ingress_batch);
+      const size_t got =
+          config_.ingress->PopBatch(&batch, config_.ingress_batch, /*timeout_ms=*/5);
+      if (got == 0) {
+        if (config_.ingress->closed()) {
+          break;  // drained and no more producers: run is over
+        }
+        continue;  // idle tick; re-check phase deadline at the loop top
+      }
+      PaceMetrics& pm = pace[p];
+      pm.backlog_peak = std::max(
+          pm.backlog_peak, static_cast<int64_t>(config_.ingress->size()));
+      bool budget_hit = false;
+      for (const net::IngressRequest& request : batch) {
+        if (budget_hit ||
+            (budget >= 0 &&
+             started_budget_.fetch_add(1, std::memory_order_relaxed) >= budget)) {
+          // Out of budget: the popped request must still be answered, and
+          // kRejected is the honest outcome — it was never executed.
+          budget_hit = true;
+          if (config_.on_ingress_complete) {
+            config_.on_ingress_complete(request, net::Status::kRejected, 0);
+          }
+          continue;
+        }
+        const int64_t begin = NowNanos();
+        pm.arrivals += 1;
+        const int64_t delay = begin - request.accepted_nanos;
+        pm.queue_delay.Record(delay > 0 ? delay : 0);
+        if (delay > kDelayedThresholdNanos) {
+          pm.delayed += 1;
+        }
+        if (request.op_index >= ops.size()) {
+          if (config_.on_ingress_complete) {
+            config_.on_ingress_complete(request, net::Status::kBadRequest, 0);
+          }
+          continue;
+        }
+        const int index = request.op_index;
+        SetTxOpContext(index);
+        try {
+          strategy_->Execute(*ops[index], *data_, rng);
+          const int64_t latency = NowNanos() - begin;
+          metrics[p][index].RecordSuccess(latency);
+          if (telemetry_ != nullptr) {
+            telemetry_->RecordOp(true, latency);
+          }
+          if (config_.on_ingress_complete) {
+            config_.on_ingress_complete(request, net::Status::kOk, latency);
+          }
+        } catch (const OperationFailed&) {
+          metrics[p][index].RecordFailure();
+          if (telemetry_ != nullptr) {
+            telemetry_->RecordOp(false, 0);
+          }
+          if (config_.on_ingress_complete) {
+            config_.on_ingress_complete(request, net::Status::kOpFailed,
+                                        NowNanos() - begin);
+          }
+        }
+        SetTxOpContext(-1);
+        phase.executed.fetch_add(1, std::memory_order_relaxed);
+      }
+      EbrDomain::Global().Quiesce();
+      if (budget_hit) {
+        stop_.store(true, std::memory_order_relaxed);
+      }
+      continue;
+    }
+
     // Claim a phase slot before touching the global budget: workers waiting
     // out a capped phase must not burn budget that later phases still need.
     if (phase.spec.max_ops >= 0 &&
@@ -413,6 +490,22 @@ BenchResult BenchmarkRunner::Run() {
     if (p < static_cast<int>(phase_count)) {
       FinishPhaseLocked(p);
       current_phase_.store(static_cast<int>(phase_count), std::memory_order_relaxed);
+    }
+  }
+  if (config_.ingress != nullptr) {
+    // The run is over: close the queue so the front-end's TryPush turns
+    // every later arrival into an immediate typed rejection, then reject
+    // whatever was admitted but never popped — a closed-loop client must
+    // never be left waiting on a request no worker will execute.
+    config_.ingress->Close();
+    std::vector<net::IngressRequest> stranded;
+    while (config_.ingress->PopBatch(&stranded, 64, /*timeout_ms=*/0) > 0) {
+      if (config_.on_ingress_complete) {
+        for (const net::IngressRequest& request : stranded) {
+          config_.on_ingress_complete(request, net::Status::kRejected, 0);
+        }
+      }
+      stranded.clear();
     }
   }
   if (telemetry_ != nullptr) {

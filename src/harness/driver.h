@@ -14,6 +14,7 @@
 #define STMBENCH7_SRC_HARNESS_DRIVER_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -21,6 +22,8 @@
 #include <string>
 
 #include "src/common/hotspot.h"
+#include "src/net/ingress.h"
+#include "src/net/wire.h"
 #include "src/core/data_holder.h"
 #include "src/harness/metrics.h"
 #include "src/harness/workload.h"
@@ -97,6 +100,22 @@ struct BenchConfig {
   // Optional cap on started operations (whichever of time/cap hits first);
   // -1 = unlimited. Used by tests and benches for determinism.
   int64_t max_operations = -1;
+
+  // Network serve mode (sb7-serve --listen): when set, workers stop
+  // sampling operations locally and instead drain admitted client requests
+  // from this queue in batches, executing each under the current phase's
+  // accounting (per-op metrics, telemetry, queue-delay percentiles). The
+  // queue must outlive the runner; the run ends when the queue is closed
+  // and drained, or at the usual wall-clock deadline.
+  net::IngressQueue* ingress = nullptr;
+  // Invoked once per drained ingress request with its outcome and the
+  // server-side execute latency; the serve front-end writes the response
+  // frame here. Called from worker threads — must be thread-safe.
+  std::function<void(const net::IngressRequest&, net::Status, int64_t)>
+      on_ingress_complete;
+  // Requests a worker claims per queue pop: batching amortizes the queue
+  // lock without letting one worker starve the others.
+  size_t ingress_batch = 16;
 };
 
 class BenchmarkRunner {

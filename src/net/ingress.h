@@ -1,0 +1,67 @@
+// Bounded admission queue between the sb7-serve event loop (producer) and
+// the BenchmarkRunner worker threads (consumers). The bound IS the
+// admission-control policy: when the queue is full the event loop rejects
+// the request immediately with Status::kRejected instead of buffering
+// unbounded work — backpressure reaches the client as a typed error, and
+// queue depth (and thus queue delay) stays bounded.
+
+#ifndef STMBENCH7_SRC_NET_INGRESS_H_
+#define STMBENCH7_SRC_NET_INGRESS_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace sb7::net {
+
+/// One admitted operation request, queued for a worker.
+struct IngressRequest {
+  uint64_t session_id = 0;      ///< which client session to answer on
+  uint64_t request_id = 0;      ///< client-chosen id, echoed back
+  uint16_t op_index = 0;        ///< index into the operation registry
+  int64_t accepted_nanos = 0;   ///< steady-clock admit time (queue delay)
+};
+
+/// MPMC bounded FIFO (mutex + condvars). Throughput is dominated by the
+/// transactions the requests trigger, not by queue ops, so a lock-free
+/// ring would buy nothing here; correctness under many producers and
+/// consumers is what matters.
+class IngressQueue {
+ public:
+  explicit IngressQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking admit. Returns false when the queue is full (caller
+  /// sends kRejected) or closed.
+  bool TryPush(const IngressRequest& request);
+
+  /// Pops up to `max_batch` requests, waiting up to `timeout_ms` for the
+  /// first one. Returns the number popped; 0 with closed()==true means
+  /// drain-complete and the consumer should exit.
+  size_t PopBatch(std::vector<IngressRequest>* out, size_t max_batch,
+                  int timeout_ms);
+
+  /// Wakes all waiters; subsequent TryPush fails, PopBatch drains the
+  /// remaining items and then returns 0.
+  void Close();
+
+  bool closed() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t accepted() const;
+  uint64_t rejected() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<IngressRequest> queue_;
+  bool closed_ = false;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace sb7::net
+
+#endif  // STMBENCH7_SRC_NET_INGRESS_H_

@@ -1,0 +1,379 @@
+// sb7-serve: the network front-end (and its load generator).
+//
+//   --listen  <port>       serve operation requests over TCP: the event
+//                          loop (src/net/server.*) admits requests into a
+//                          bounded ingress queue and the phase-aware
+//                          BenchmarkRunner's workers execute them.
+//   --connect <host:port>  drive a remote sb7-serve as a load generator,
+//                          reusing the scenario engine's closed-loop /
+//                          Poisson / bursty arrival models client-side.
+//
+// See docs/SERVING.md for the wire format, session lifecycle, and
+// backpressure semantics.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/text.h"
+#include "src/harness/driver.h"
+#include "src/harness/report.h"
+#include "src/harness/workload.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+
+namespace sb7 {
+namespace {
+
+struct ServeOptions {
+  // --listen mode
+  bool listen = false;
+  int port = 0;
+  std::string backend = "tl2";
+  std::string scale = "small";
+  int threads = 4;
+  double seconds = 10.0;
+  size_t queue_capacity = 1024;
+  size_t batch = 16;
+  int metrics_port = -1;
+
+  // --connect mode
+  bool connect = false;
+  std::string host = "127.0.0.1";
+  int connections = 4;
+  std::string arrival = "closed";
+  double rate = 1000.0;
+  int burst = 32;
+  int64_t max_ops = -1;
+
+  // shared
+  std::string workload = "r";
+  double read_fraction = -1.0;  // < 0: use the workload preset
+  uint64_t seed = 20070326;
+};
+
+const char kUsage[] = R"(usage:
+  sb7-serve --listen <port> [server flags]
+  sb7-serve --connect <host:port> [client flags]
+
+server flags:
+  -b, --backend <name>      sync strategy (default tl2)
+  -s, --scale <name>        tiny | small | medium (default small)
+  -t, --threads <n>         executor worker threads (default 4)
+  -l, --seconds <s>         serve duration (default 10)
+      --queue <n>           ingress queue capacity (default 1024);
+                            a full queue rejects with a typed error
+      --batch <n>           requests per worker queue pop (default 16)
+      --metrics-port <p>    telemetry /metrics endpoint (0 = ephemeral)
+
+client flags:
+  -t, --threads <n>         concurrent connections (default 4)
+  -l, --seconds <s>         run duration (default 10)
+      --arrival <model>     closed | poisson | bursty (default closed)
+      --rate <ops/s>        aggregate open-loop target rate (default 1000)
+      --burst <n>           bursty batch size (default 32)
+      --max-ops <n>         total request budget (default unlimited)
+
+shared flags:
+  -w, --workload <type>     r | rw | w operation mix (default r)
+      --read-fraction <f>   override the preset read-only share
+      --seed <n>            RNG seed (default 20070326)
+  -h, --help
+)";
+
+bool ParseArgs(int argc, char** argv, ServeOptions* opts, std::string* error) {
+  auto need_value = [&](int& i, const std::string& flag) -> const char* {
+    if (i + 1 >= argc) {
+      *error = flag + " requires a value";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int64_t n = 0;
+    double d = 0.0;
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else if (arg == "--listen") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr || !ParseInt64(value, n) || n < 0 || n > 65535) {
+        *error = error->empty() ? "--listen needs a port in [0, 65535]" : *error;
+        return false;
+      }
+      opts->listen = true;
+      opts->port = static_cast<int>(n);
+    } else if (arg == "--connect") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr) {
+        return false;
+      }
+      const std::string target = value;
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos || colon + 1 >= target.size() ||
+          !ParseInt64(target.substr(colon + 1), n) || n <= 0 || n > 65535) {
+        *error = "--connect needs host:port";
+        return false;
+      }
+      opts->connect = true;
+      opts->host = target.substr(0, colon);
+      opts->port = static_cast<int>(n);
+    } else if (arg == "-b" || arg == "--backend") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr) {
+        return false;
+      }
+      opts->backend = value;
+    } else if (arg == "-s" || arg == "--scale") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr) {
+        return false;
+      }
+      opts->scale = value;
+    } else if (arg == "-t" || arg == "--threads") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr || !ParseInt64(value, n) || n < 1) {
+        *error = error->empty() ? "--threads needs a positive integer" : *error;
+        return false;
+      }
+      opts->threads = static_cast<int>(n);
+      opts->connections = static_cast<int>(n);
+    } else if (arg == "-l" || arg == "--seconds") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr || !ParseDouble(value, d) || d <= 0) {
+        *error = error->empty() ? "--seconds needs a positive number" : *error;
+        return false;
+      }
+      opts->seconds = d;
+    } else if (arg == "--queue") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr || !ParseInt64(value, n) || n < 1) {
+        *error = error->empty() ? "--queue needs a positive integer" : *error;
+        return false;
+      }
+      opts->queue_capacity = static_cast<size_t>(n);
+    } else if (arg == "--batch") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr || !ParseInt64(value, n) || n < 1) {
+        *error = error->empty() ? "--batch needs a positive integer" : *error;
+        return false;
+      }
+      opts->batch = static_cast<size_t>(n);
+    } else if (arg == "--metrics-port") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr || !ParseInt64(value, n) || n < 0 || n > 65535) {
+        *error = error->empty() ? "--metrics-port needs a port" : *error;
+        return false;
+      }
+      opts->metrics_port = static_cast<int>(n);
+    } else if (arg == "--arrival") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr) {
+        return false;
+      }
+      opts->arrival = value;
+    } else if (arg == "--rate") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr || !ParseDouble(value, d) || d <= 0) {
+        *error = error->empty() ? "--rate needs a positive number" : *error;
+        return false;
+      }
+      opts->rate = d;
+    } else if (arg == "--burst") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr || !ParseInt64(value, n) || n < 1) {
+        *error = error->empty() ? "--burst needs a positive integer" : *error;
+        return false;
+      }
+      opts->burst = static_cast<int>(n);
+    } else if (arg == "--max-ops") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr || !ParseInt64(value, n)) {
+        *error = error->empty() ? "--max-ops needs an integer" : *error;
+        return false;
+      }
+      opts->max_ops = n;
+    } else if (arg == "-w" || arg == "--workload") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr) {
+        return false;
+      }
+      opts->workload = value;
+    } else if (arg == "--read-fraction") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr || !ParseDouble(value, d) || d < 0 || d > 1) {
+        *error = error->empty() ? "--read-fraction needs a value in [0, 1]" : *error;
+        return false;
+      }
+      opts->read_fraction = d;
+    } else if (arg == "--seed") {
+      const char* value = need_value(i, arg);
+      uint64_t seed = 0;
+      if (value == nullptr || !ParseUint64(value, seed)) {
+        *error = error->empty() ? "--seed needs an integer" : *error;
+        return false;
+      }
+      opts->seed = seed;
+    } else {
+      *error = "unknown argument: " + arg;
+      return false;
+    }
+  }
+  if (opts->listen == opts->connect) {
+    *error = "exactly one of --listen or --connect is required";
+    return false;
+  }
+  return true;
+}
+
+int RunServer(const ServeOptions& opts) {
+  net::IngressQueue queue(opts.queue_capacity);
+
+  BenchConfig config;
+  config.strategy = opts.backend;
+  config.scale = opts.scale;
+  config.threads = opts.threads;
+  config.length_seconds = opts.seconds;
+  config.workload = WorkloadTypeForName(opts.workload);
+  if (opts.read_fraction >= 0) {
+    config.read_fraction = opts.read_fraction;
+  }
+  config.seed = opts.seed;
+  config.metrics_port = opts.metrics_port;
+  config.ingress = &queue;
+  config.ingress_batch = opts.batch;
+
+  // The server must exist before the runner so the completion hook can
+  // capture it; op_count comes from the runner's registry after build.
+  net::ServerOptions server_options;
+  server_options.port = opts.port;
+  net::OpServer* server_ptr = nullptr;
+  config.on_ingress_complete = [&server_ptr](const net::IngressRequest& request,
+                                             net::Status status,
+                                             int64_t nanos) {
+    if (server_ptr != nullptr) {
+      server_ptr->Complete(request, status, nanos);
+    }
+  };
+
+  std::cerr << "building the " << config.scale << " structure...\n";
+  BenchmarkRunner runner(config);
+  net::OpServer server(server_options, &queue,
+                       static_cast<uint16_t>(runner.registry().all().size()));
+  server_ptr = &server;
+
+  std::string error;
+  if (!server.Start(&error)) {
+    std::cerr << "error: cannot listen: " << error << "\n";
+    return 2;
+  }
+  if (config.metrics_port >= 0 && runner.telemetry() != nullptr) {
+    if (runner.telemetry()->StartServer(&error)) {
+      std::cerr << "metrics endpoint listening on port "
+                << runner.telemetry()->server_port() << " (/metrics, /series)\n";
+    } else {
+      std::cerr << "warning: metrics endpoint disabled: " << error << "\n";
+    }
+  }
+  std::cerr << "serving on port " << server.port() << " ("
+            << runner.spawned_threads() << " executor(s), backend '"
+            << config.strategy << "', queue " << opts.queue_capacity
+            << ", batch " << opts.batch << ") for " << opts.seconds << " s...\n";
+
+  const BenchResult result = runner.Run();
+
+  // Shutdown order: close the queue first so late arrivals get typed
+  // rejections while anything already admitted has been answered, then
+  // stop the event loop.
+  queue.Close();
+  server.Stop();
+
+  PrintReport(std::cout, runner, result);
+  const net::ServerStats stats = server.stats();
+  std::cout << "serve: sessions accepted " << stats.sessions_accepted
+            << ", dropped " << stats.sessions_dropped << ", frames in "
+            << stats.frames_in << ", bad " << stats.bad_frames
+            << ", admitted " << queue.accepted() << ", rejected "
+            << queue.rejected() << "\n";
+  return 0;
+}
+
+int RunClient(const ServeOptions& opts) {
+  net::ClientOptions client;
+  client.host = opts.host;
+  client.port = opts.port;
+  client.connections = opts.connections;
+  client.seconds = opts.seconds;
+  client.seed = opts.seed;
+  client.max_ops = opts.max_ops;
+  client.rate_ops_per_sec = opts.rate;
+  client.burst_size = opts.burst;
+  if (opts.arrival == "closed") {
+    client.arrival = ArrivalModel::kClosed;
+  } else if (opts.arrival == "poisson") {
+    client.arrival = ArrivalModel::kPoisson;
+  } else if (opts.arrival == "bursty") {
+    client.arrival = ArrivalModel::kBursty;
+  } else {
+    std::cerr << "error: unknown arrival model '" << opts.arrival << "'\n";
+    return 2;
+  }
+
+  // The client samples from the same ratio table the server's registry
+  // would produce, so the remote mix matches an in-process run bit-for-bit
+  // under the same seed.
+  OperationRegistry registry;
+  const double read_fraction =
+      opts.read_fraction >= 0 ? opts.read_fraction
+                              : ReadOnlyFraction(WorkloadTypeForName(opts.workload));
+  client.ratios = ComputeOperationRatios(registry, read_fraction,
+                                         /*long_traversals_enabled=*/true,
+                                         /*structure_mods_enabled=*/true, {});
+
+  std::cerr << "driving " << opts.host << ":" << opts.port << " with "
+            << client.connections << " connection(s), arrival "
+            << opts.arrival << ", for " << opts.seconds << " s...\n";
+  const net::ClientResult result = RunLoadClient(client);
+  if (!result.Ok()) {
+    std::cerr << "error: " << result.error << "\n";
+    return 1;
+  }
+
+  std::cout << "client: sent " << result.sent << ", ok " << result.ok
+            << ", op_failed " << result.op_failed << ", rejected "
+            << result.rejected << ", bad " << result.bad << ", lost "
+            << result.lost << "\n";
+  std::cout << "throughput: " << result.Throughput() << " op/s over "
+            << result.elapsed_seconds << " s\n";
+  std::cout << "latency ms: p50 " << result.latency.QuantileMillis(0.50)
+            << "  p90 " << result.latency.QuantileMillis(0.90) << "  p99 "
+            << result.latency.QuantileMillis(0.99) << "  p999 "
+            << result.latency.QuantileMillis(0.999) << "  max "
+            << static_cast<double>(result.latency.max_nanos()) / 1e6 << "\n";
+  std::cout << "server-side execute ms: p50 "
+            << result.server_latency.QuantileMillis(0.50) << "  p99 "
+            << result.server_latency.QuantileMillis(0.99) << "\n";
+  if (result.pace.arrivals > 0) {
+    std::cout << "pacing: arrivals " << result.pace.arrivals << ", delayed "
+              << result.pace.delayed << " (queue delay p50 "
+              << result.pace.queue_delay.QuantileMillis(0.50) << " ms, p99 "
+              << result.pace.queue_delay.QuantileMillis(0.99)
+              << " ms, backlog peak " << result.pace.backlog_peak << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sb7
+
+int main(int argc, char** argv) {
+  sb7::ServeOptions opts;
+  std::string error;
+  if (!sb7::ParseArgs(argc, argv, &opts, &error)) {
+    std::cerr << "error: " << error << "\n" << sb7::kUsage;
+    return 2;
+  }
+  return opts.listen ? sb7::RunServer(opts) : sb7::RunClient(opts);
+}

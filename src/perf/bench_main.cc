@@ -7,6 +7,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 #include "src/common/text.h"
@@ -38,6 +39,10 @@ std::string UsageText() {
   --threads <list>       override the thread axis (comma-separated)
   --scale <s>            override the scale axis (tiny | small | medium)
   --seed <n>             override the base RNG seed
+  --serve-factor <f>     gate wire cells against their inproc twins: every
+                         serve=wire cell must reach at least 1/f of the
+                         matching inproc cell's throughput (f > 1; exit 1
+                         on violation). Requires a sweep with a serve axis.
   --trace-cells          install the tracer for every cell and record a
                          per-cell conflict summary in the artifact
   --no-telemetry         run the cells without the live telemetry sampler
@@ -68,6 +73,7 @@ struct Options {
   std::string scale;
   uint64_t seed = 0;
   bool seed_given = false;
+  double serve_factor = 0.0;  // 0 = gate off
   bool trace_cells = false;
   bool telemetry = true;
   std::string validate_json_path;
@@ -162,6 +168,11 @@ Options ParseArgs(int argc, char** argv) {
         return fail("--seed requires an integer");
       }
       options.seed_given = true;
+    } else if (arg == "--serve-factor") {
+      if (!next(value) || !sb7::ParseDouble(value, options.serve_factor) ||
+          options.serve_factor <= 1) {
+        return fail("--serve-factor requires a number > 1");
+      }
     } else if (arg == "--trace-cells") {
       options.trace_cells = true;
     } else if (arg == "--no-telemetry") {
@@ -276,6 +287,48 @@ int RunValidateJsonl(const std::string& path) {
   return 0;
 }
 
+// The --serve-factor gate: every serve=wire cell must reach at least 1/f of
+// the throughput of the cell that is identical except serve=inproc. The
+// factor is deliberately generous in CI (loopback serving adds framing,
+// syscalls and a queue hop per op; see docs/SERVING.md) — the gate exists to
+// catch the wire path collapsing (a stall, a rejection storm), not to police
+// a few percent.
+bool CheckServeFactor(const sb7::perf::SweepResult& result, double factor) {
+  std::map<std::string, double> inproc;
+  for (const sb7::perf::CellResult& cell : result.cells) {
+    if (cell.cell.serve == "inproc") {
+      inproc[sb7::perf::CellKey(cell.cell)] = cell.throughput_median;
+    }
+  }
+  bool any = false;
+  bool ok = true;
+  for (const sb7::perf::CellResult& cell : result.cells) {
+    if (cell.cell.serve != "wire") {
+      continue;
+    }
+    sb7::perf::SweepCell twin = cell.cell;
+    twin.serve = "inproc";
+    const auto it = inproc.find(sb7::perf::CellKey(twin));
+    if (it == inproc.end()) {
+      continue;  // no inproc twin in this sweep; nothing to gate against
+    }
+    any = true;
+    const double floor = it->second / factor;
+    const bool pass = cell.throughput_median >= floor;
+    std::cout << "serve gate [" << sb7::perf::CellKey(twin) << "]: wire "
+              << static_cast<int64_t>(cell.throughput_median) << " op/s vs inproc "
+              << static_cast<int64_t>(it->second) << " op/s (floor "
+              << static_cast<int64_t>(floor) << " at factor " << factor << "): "
+              << (pass ? "OK" : "FAIL") << "\n";
+    ok = ok && pass;
+  }
+  if (!any) {
+    std::cerr << "warning: --serve-factor given but the sweep has no "
+                 "wire/inproc cell pairs to gate\n";
+  }
+  return ok;
+}
+
 int RunCompareOnly(const Options& options) {
   const sb7::perf::BaselineLoadResult base =
       sb7::perf::LoadBaselineFile(options.compare_path);
@@ -365,6 +418,13 @@ int main(int argc, char** argv) {
     }
     sb7::perf::WriteSweepJson(out, outcome.result);
     std::cerr << "artifact written to " << path << "\n";
+  }
+
+  if (options.serve_factor > 1 &&
+      !CheckServeFactor(outcome.result, options.serve_factor)) {
+    std::cerr << "SERVE GATE FAILED: a wire cell fell below 1/" << options.serve_factor
+              << " of its inproc twin\n";
+    return 1;
   }
 
   if (!options.compare_path.empty()) {

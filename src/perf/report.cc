@@ -118,7 +118,8 @@ void WriteSweepJson(std::ostream& out, const SweepResult& result) {
   WriteStringAxis(out, "scales", spec.scales);
   WriteStringAxis(out, "indexes", spec.indexes);
   WriteStringAxis(out, "cms", spec.cms);
-  WriteStringAxis(out, "mixes", spec.mixes, /*last=*/true);
+  WriteStringAxis(out, "mixes", spec.mixes);
+  WriteStringAxis(out, "serves", spec.serves, /*last=*/true);
   out << "  },\n";
 
   out << "  \"cells\": [";
@@ -135,13 +136,24 @@ void WriteSweepJson(std::ostream& out, const SweepResult& result) {
     out << "      \"scale\": " << JsonString(cell.cell.scale)
         << ", \"index\": " << JsonString(cell.cell.index)
         << ", \"cm\": " << JsonString(cell.cell.cm)
-        << ", \"mix\": " << JsonString(cell.cell.mix) << ",\n";
+        << ", \"mix\": " << JsonString(cell.cell.mix)
+        << ", \"serve\": " << JsonString(cell.cell.serve) << ",\n";
     out << "      \"reps\": " << cell.reps
         << ", \"elapsed_median_s\": " << cell.elapsed_median_s << ",\n";
     out << "      \"throughput_median\": " << cell.throughput_median
         << ", \"throughput_min\": " << cell.throughput_min
         << ", \"throughput_max\": " << cell.throughput_max
-        << ", \"started_median\": " << cell.started_median;
+        << ", \"started_median\": " << cell.started_median
+        << ", \"p999_ms\": " << cell.p999_ms;
+    if (cell.wire) {
+      const WireCellStats& wire = cell.wire_stats;
+      out << ",\n      \"wire\": {\"sent\": " << wire.sent << ", \"ok\": " << wire.ok
+          << ", \"op_failed\": " << wire.op_failed << ", \"rejected\": " << wire.rejected
+          << ", \"bad\": " << wire.bad << ", \"lost\": " << wire.lost << ",\n"
+          << "        \"client_throughput\": " << wire.client_throughput
+          << ", \"p50_ms\": " << wire.p50_ms << ", \"p99_ms\": " << wire.p99_ms
+          << ", \"p999_ms\": " << wire.p999_ms << ", \"max_ms\": " << wire.max_ms << "}";
+    }
     if (!cell.probes.empty()) {
       out << ",\n      \"probes\": [";
       for (size_t q = 0; q < cell.probes.size(); ++q) {
@@ -241,6 +253,9 @@ std::string BlockLabel(const SweepSpec& spec, const SweepCell& cell, ColumnAxis 
   }
   if (spec.cms.size() > 1 && axis != ColumnAxis::kCm) {
     add("cm", cell.cm);
+  }
+  if (spec.serves.size() > 1) {
+    add("serve", cell.serve);
   }
   return out.str();
 }

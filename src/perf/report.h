@@ -33,6 +33,12 @@
 /// and, when perf_event counters opened, a per-cell "hw" block (deltas
 /// summed over the median repetition's measure phases):
 ///            {cycles, instructions, llc_misses, stalled_cycles}
+/// Schema 4 adds the serve axis ("serves" in the axes block, "serve" and
+/// "p999_ms" — the median repetition's server-side all-ops latency p999,
+/// -1 when nothing completed — in every cell) and, for serve="wire" cells,
+/// a "wire" block with the loopback load client's view:
+///            {sent, ok, op_failed, rejected, bad, lost,
+///             client_throughput, p50_ms, p99_ms, p999_ms, max_ms}
 /// Readers accept any schema in [1, current] (--compare treats the added
 /// keys as optional). Changing any of this is a schema bump and must
 /// update the golden test.
@@ -47,7 +53,7 @@
 namespace sb7::perf {
 
 /// The BENCH_*.json schema version this build writes and reads.
-constexpr int kBenchSchemaVersion = 3;
+constexpr int kBenchSchemaVersion = 4;
 
 /// Writes the machine-readable sweep artifact described above.
 void WriteSweepJson(std::ostream& out, const SweepResult& result);

@@ -4,9 +4,14 @@
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "src/core/invariants.h"
 #include "src/harness/driver.h"
+#include "src/harness/workload.h"
+#include "src/net/client.h"
+#include "src/net/ingress.h"
+#include "src/net/server.h"
 #include "src/perf/stats.h"
 
 namespace sb7::perf {
@@ -18,6 +23,9 @@ struct RepSample {
   int64_t success = 0;
   int64_t started = 0;
   std::vector<double> probe_max_ms;  // parallel to spec.probes; -1 = never completed
+  double p999_ms = -1.0;  // server-side op latency, all ops merged
+  bool wire = false;
+  WireCellStats wire_stats;
   bool has_stm = false;
   StmStats::View stm = {};
   CellConflicts conflicts;
@@ -129,11 +137,15 @@ RepSample CollectRep(const SweepSpec& spec, const BenchmarkRunner& runner,
   }
   sample.probe_max_ms.assign(spec.probes.size(), -1.0);
 
+  TtcHistogram latency_all;
   for (size_t p = body_begin; p < result.phases.size(); ++p) {
     const PhaseResult& phase = result.phases[p];
     sample.elapsed_seconds += phase.elapsed_seconds;
     sample.success += phase.total_success;
     sample.started += phase.total_started;
+    for (const OpMetrics& op : phase.per_op) {
+      latency_all.Merge(op.histogram);
+    }
     sample.stm = StmStats::View::Add(sample.stm, phase.stm);
     if (phase.hw.available) {
       sample.hw.available = true;
@@ -151,6 +163,9 @@ RepSample CollectRep(const SweepSpec& spec, const BenchmarkRunner& runner,
           static_cast<double>(phase.per_op[op].histogram.max_nanos()) / 1e6;
       sample.probe_max_ms[q] = std::max(sample.probe_max_ms[q], max_ms);
     }
+  }
+  if (latency_all.total_count() > 0) {
+    sample.p999_ms = latency_all.QuantileMillis(0.999);
   }
   sample.has_stm = runner.strategy().stm() != nullptr;
   if (runner.telemetry() != nullptr) {
@@ -183,6 +198,92 @@ RepSample CollectRep(const SweepSpec& spec, const BenchmarkRunner& runner,
   return sample;
 }
 
+// Loopback ingress depth for wire cells: deep enough that a closed-loop
+// client (one outstanding request per connection) never sees backpressure,
+// small enough that a wedged runner surfaces as rejections, not buffering.
+constexpr size_t kWireQueueCapacity = 1024;
+
+// Runs one wire-cell repetition: the same BenchmarkRunner as an inproc
+// cell, but its workers drain a loopback OpServer's ingress queue while a
+// closed-loop load client (one connection per worker thread) generates the
+// operation mix the inproc cell would have sampled locally. Server-side
+// phase accounting stays the source of the comparable throughput/latency
+// numbers; the client's end-to-end view lands in sample->wire_stats.
+// Returns false with *error set when the plumbing itself failed.
+bool RunWireRep(const SweepSpec& spec, const SweepCell& cell, BenchConfig config,
+                bool validate, RepSample* sample, std::string* error) {
+  net::IngressQueue ingress(kWireQueueCapacity);
+  config.ingress = &ingress;
+  // The server outlives every worker callback (runner_thread joins before
+  // it is destroyed); the indirection only bridges construction order.
+  net::OpServer* server_ptr = nullptr;
+  config.on_ingress_complete = [&server_ptr](const net::IngressRequest& request,
+                                             net::Status status, int64_t nanos) {
+    if (server_ptr != nullptr) {
+      server_ptr->Complete(request, status, nanos);
+    }
+  };
+
+  BenchmarkRunner runner(config);
+  net::OpServer server(net::ServerOptions{}, &ingress,
+                       static_cast<uint16_t>(runner.registry().all().size()));
+  server_ptr = &server;
+  std::string start_error;
+  if (!server.Start(&start_error)) {
+    *error = "loopback server failed to start: " + start_error;
+    return false;
+  }
+
+  net::ClientOptions client_options;
+  client_options.port = server.port();
+  client_options.connections = cell.threads;
+  client_options.seconds = config.length_seconds;
+  const std::optional<MixPreset> mix = FindMixPreset(cell.mix);
+  client_options.ratios = ComputeOperationRatios(
+      runner.registry(), WorkloadTypeForName(cell.workload), mix->long_traversals,
+      /*structure_mods_enabled=*/true, mix->disabled_ops);
+  client_options.seed = config.seed;
+
+  BenchResult result;
+  std::thread runner_thread([&runner, &result]() { result = runner.Run(); });
+  // Run() closes + drain-rejects the queue when the phases end, so even a
+  // client outliving the runner (op cap, clock skew) only ever sees typed
+  // rejections, never a stranded request.
+  const net::ClientResult client = net::RunLoadClient(client_options);
+  runner_thread.join();
+  server.Stop();
+
+  if (!client.Ok()) {
+    *error = "loopback client failed: " + client.error;
+    return false;
+  }
+  if (validate) {
+    const InvariantReport report = CheckInvariants(runner.data());
+    if (!report.ok()) {
+      *error = "invariant violation: " + report.violations[0];
+      return false;
+    }
+  }
+
+  *sample = CollectRep(spec, runner, result);
+  sample->wire = true;
+  sample->wire_stats.sent = client.sent;
+  sample->wire_stats.ok = client.ok;
+  sample->wire_stats.op_failed = client.op_failed;
+  sample->wire_stats.rejected = client.rejected;
+  sample->wire_stats.bad = client.bad;
+  sample->wire_stats.lost = client.lost;
+  sample->wire_stats.client_throughput = client.Throughput();
+  if (client.latency.total_count() > 0) {
+    sample->wire_stats.p50_ms = client.latency.QuantileMillis(0.5);
+    sample->wire_stats.p99_ms = client.latency.QuantileMillis(0.99);
+    sample->wire_stats.p999_ms = client.latency.QuantileMillis(0.999);
+    sample->wire_stats.max_ms =
+        static_cast<double>(client.latency.max_nanos()) / 1e6;
+  }
+  return true;
+}
+
 // Median/min/max over the repetitions where the probe completed at least
 // once; all three stay -1 when it never did.
 ProbeStats ProbeStatsOf(const std::string& op, const std::vector<RepSample>& samples,
@@ -211,36 +312,42 @@ std::string CellKey(const SweepCell& cell) {
       << " workload=" << cell.workload << " scenario="
       << (cell.scenario.empty() ? "-" : cell.scenario) << " scale=" << cell.scale
       << " index=" << cell.index << " cm=" << cell.cm << " mix=" << cell.mix;
+  if (cell.serve != "inproc") {
+    out << " serve=" << cell.serve;
+  }
   return out.str();
 }
 
 std::vector<SweepCell> ExpandCells(const SweepSpec& spec) {
-  // Axis nesting, outermost first: mix, scale, scenario/workload, index, cm,
-  // backend, threads — so the human table reads as "one block per
+  // Axis nesting, outermost first: serve, mix, scale, scenario/workload,
+  // index, cm, backend, threads — so the human table reads as "one block per
   // configuration, backends side by side, thread counts down the rows".
   std::vector<SweepCell> cells;
   std::vector<std::string> scenarios = spec.scenarios;
   if (scenarios.empty()) {
     scenarios = {""};
   }
-  for (const std::string& mix : spec.mixes) {
-    for (const std::string& scale : spec.scales) {
-      for (const std::string& scenario : scenarios) {
-        for (const std::string& workload : spec.workloads) {
-          for (const std::string& index : spec.indexes) {
-            for (const std::string& cm : spec.cms) {
-              for (const int threads : spec.threads) {
-                for (const std::string& backend : spec.backends) {
-                  SweepCell cell;
-                  cell.backend = backend;
-                  cell.threads = threads;
-                  cell.workload = workload;
-                  cell.scenario = scenario;
-                  cell.scale = scale;
-                  cell.index = index;
-                  cell.cm = cm;
-                  cell.mix = mix;
-                  cells.push_back(cell);
+  for (const std::string& serve : spec.serves) {
+    for (const std::string& mix : spec.mixes) {
+      for (const std::string& scale : spec.scales) {
+        for (const std::string& scenario : scenarios) {
+          for (const std::string& workload : spec.workloads) {
+            for (const std::string& index : spec.indexes) {
+              for (const std::string& cm : spec.cms) {
+                for (const int threads : spec.threads) {
+                  for (const std::string& backend : spec.backends) {
+                    SweepCell cell;
+                    cell.backend = backend;
+                    cell.threads = threads;
+                    cell.workload = workload;
+                    cell.scenario = scenario;
+                    cell.scale = scale;
+                    cell.index = index;
+                    cell.cm = cm;
+                    cell.mix = mix;
+                    cell.serve = serve;
+                    cells.push_back(cell);
+                  }
                 }
               }
             }
@@ -270,6 +377,18 @@ SweepRunOutcome RunSweep(const SweepSpec& spec, const SweepRunOptions& options) 
         config.telemetry = true;
         config.telemetry_interval = std::clamp(spec.seconds / 8.0, 0.05, 1.0);
       }
+      if (cell.serve == "wire") {
+        RepSample sample;
+        std::string wire_error;
+        if (!RunWireRep(spec, cell, std::move(config), rep == spec.reps - 1, &sample,
+                        &wire_error)) {
+          outcome.error = "wire cell [" + CellKey(cell) + "]: " + wire_error;
+          return outcome;
+        }
+        samples.push_back(std::move(sample));
+        continue;
+      }
+
       BenchmarkRunner runner(config);
       const BenchResult result = runner.Run();
       samples.push_back(CollectRep(spec, runner, result));
@@ -305,6 +424,9 @@ SweepRunOutcome RunSweep(const SweepSpec& spec, const SweepRunOptions& options) 
       cell_result.probes.push_back(ProbeStatsOf(spec.probes[q], samples, q));
     }
     const RepSample& median_rep = samples[MedianIndex(throughputs)];
+    cell_result.p999_ms = median_rep.p999_ms;
+    cell_result.wire = median_rep.wire;
+    cell_result.wire_stats = median_rep.wire_stats;
     cell_result.has_stm = median_rep.has_stm;
     cell_result.stm = median_rep.stm;
     cell_result.traced = options.trace_cells;

@@ -36,12 +36,17 @@ struct SweepCell {
   std::string index;     ///< "default" or an index kind name
   std::string cm;        ///< "default" or a contention manager name
   std::string mix;       ///< mix preset name
+  /// "inproc" (workers sample operations locally) or "wire" (operations
+  /// arrive over loopback TCP via sb7-serve's OpServer + ingress queue).
+  std::string serve = "inproc";
 };
 
 /// Canonical identity of a cell, used to match cells across runs in
 /// `--compare`. Fixed key order; empty scenario prints as "-":
 ///   backend=tl2 threads=4 workload=r scenario=- scale=small index=default
 ///   cm=default mix=short
+/// Wire cells append " serve=wire"; the default inproc mode adds nothing,
+/// so pre-serve-axis baselines keep matching their cells.
 std::string CellKey(const SweepCell& cell);
 
 /// Median/min/max of one latency probe across repetitions. A value of -1
@@ -71,6 +76,24 @@ struct CellConflicts {
   std::vector<NamedConflictPair> top_pairs;
 };
 
+/// Client-side view of a wire cell: the loopback load client's counters and
+/// end-to-end (send→response) latency percentiles for the whole run. The
+/// server-side numbers in the enclosing CellResult stay the comparable
+/// quantities; the gap between p999_ms and this p999 is wire + queueing.
+struct WireCellStats {
+  int64_t sent = 0;
+  int64_t ok = 0;
+  int64_t op_failed = 0;
+  int64_t rejected = 0;
+  int64_t bad = 0;
+  int64_t lost = 0;
+  double client_throughput = 0.0;  ///< (ok + op_failed) / client elapsed
+  double p50_ms = -1.0;
+  double p99_ms = -1.0;
+  double p999_ms = -1.0;
+  double max_ms = -1.0;
+};
+
 /// Aggregated result of one cell: median-of-N throughput with min/max
 /// spread, probe latencies, and the STM counter deltas of the median
 /// repetition (summed over the measure phases; zeros for lock strategies).
@@ -82,6 +105,13 @@ struct CellResult {
   double throughput_min = 0.0;
   double throughput_max = 0.0;
   double started_median = 0.0;
+  /// p999 of the median repetition's server-side operation latency (all
+  /// ops merged over the measure phases); -1 when nothing completed.
+  /// Present for every cell, so inproc vs wire tails compare directly.
+  double p999_ms = -1.0;
+  /// Set for serve="wire" cells; the JSON then carries a "wire" block.
+  bool wire = false;
+  WireCellStats wire_stats;
   std::vector<ProbeStats> probes;
   bool has_stm = false;
   StmStats::View stm = {};

@@ -168,6 +168,19 @@ std::string SweepSpec::Validate() {
       return "unknown mix preset: " + mix + " (expected " + MixPresetList() + ")";
     }
   }
+  if (serves.empty()) {
+    serves = {"inproc"};
+  }
+  for (const std::string& serve : serves) {
+    if (serve != "inproc" && serve != "wire") {
+      return "unknown serve mode: " + serve + " (expected inproc or wire)";
+    }
+    if (serve == "wire" && !scenarios.empty()) {
+      // Wire cells run a plain warmup+measure window; a phased scenario has
+      // no meaningful over-the-wire analogue (clients pace, not phases).
+      return "serves=wire cannot be combined with scenarios";
+    }
+  }
   {
     OperationRegistry registry;
     for (const std::string& probe : probes) {
@@ -334,6 +347,26 @@ SweepSpec MakeSmoke() {
   return spec;
 }
 
+SweepSpec MakeServe() {
+  // In-process vs over-the-wire: the same tl2 cell executed by local worker
+  // threads and again with operations arriving through sb7-serve's loopback
+  // TCP front-end (closed-loop client, one connection per worker). The gap
+  // between the two columns is the serving overhead; --serve-factor gates it.
+  SweepSpec spec;
+  spec.name = "serve";
+  spec.title = "Serve sweep: in-process vs over-the-wire (loopback TCP), tl2";
+  spec.backends = {"tl2"};
+  spec.threads = {4};
+  spec.workloads = {"rw"};
+  spec.scales = {"tiny"};
+  spec.mixes = {"short"};
+  spec.serves = {"inproc", "wire"};
+  spec.seconds = 0.8;
+  spec.warmup = 0.2;
+  spec.reps = 1;
+  return spec;
+}
+
 const std::map<std::string, SweepSpec (*)()>& BuiltinFactories() {
   static const std::map<std::string, SweepSpec (*)()> factories = {
       {"fig3", &MakeFig3},
@@ -345,6 +378,7 @@ const std::map<std::string, SweepSpec (*)()>& BuiltinFactories() {
       {"ablation-locks", &MakeAblationLocks},
       {"ablation-mvcc", &MakeAblationMvcc},
       {"scenario-sweep", &MakeScenarioSweep},
+      {"serve", &MakeServe},
       {"smoke", &MakeSmoke},
   };
   return factories;
@@ -354,8 +388,9 @@ const std::map<std::string, SweepSpec (*)()>& BuiltinFactories() {
 
 const std::vector<std::string>& BuiltinSweepNames() {
   static const std::vector<std::string> names = {
-      "fig3",           "fig4",           "fig6",          "table3",         "ablation-cm",
-      "ablation-index", "ablation-locks", "ablation-mvcc", "scenario-sweep", "smoke"};
+      "fig3",           "fig4",           "fig6",          "table3",  "ablation-cm",
+      "ablation-index", "ablation-locks", "ablation-mvcc", "scenario-sweep", "serve",
+      "smoke"};
   return names;
 }
 
@@ -475,6 +510,10 @@ SweepParseResult ParseSweepSpec(std::istream& in, std::string_view default_name)
     } else if (key == "mixes") {
       if (!SplitList(value, spec.mixes)) {
         return fail("mixes requires a comma-separated list");
+      }
+    } else if (key == "serves") {
+      if (!SplitList(value, spec.serves)) {
+        return fail("serves requires a comma-separated list");
       }
     } else if (key == "probes") {
       if (!SplitList(value, spec.probes)) {

@@ -1,9 +1,9 @@
 /// \file
 /// Declarative benchmark sweep specifications.
 ///
-/// A sweep is the cartesian product of up to eight axes — backend ×
+/// A sweep is the cartesian product of up to nine axes — backend ×
 /// threads × workload/scenario preset × structure scale (plus the secondary
-/// index / contention-manager / operation-mix axes) — with per-cell
+/// index / contention-manager / operation-mix / serve axes) — with per-cell
 /// warmup/measure windows and a repetition count. The `sb7-bench` driver
 /// expands a spec into cells, runs each one through the phase-aware
 /// `BenchmarkRunner` (reusing the scenario engine: every cell is a scenario
@@ -71,6 +71,11 @@ struct SweepSpec {
   std::vector<std::string> indexes;    ///< "default" | stdmap | snapshot | skiplist
   std::vector<std::string> cms;        ///< "default" | contention manager names
   std::vector<std::string> mixes;      ///< mix preset names; default {"full"}
+  /// "inproc" (workers generate operations in-process, the classic path) or
+  /// "wire" (operations arrive over loopback TCP through sb7-serve's
+  /// OpServer + ingress queue, driven by the closed-loop load client).
+  /// Default {"inproc"}.
+  std::vector<std::string> serves;
 
   /// Operations whose per-cell max latency is recorded (required when
   /// metric == kLatency, e.g. fig3 probes T1 and T2b).
@@ -122,6 +127,7 @@ struct SweepParseResult {
 ///   indexes=default,skiplist  axis: index implementations
 ///   cms=default,polka,...     axis: astm contention managers
 ///   mixes=full,short,...      axis: operation-mix presets (see MixPreset)
+///   serves=inproc,wire        axis: in-process vs over-the-wire execution
 ///   probes=T1,T2b             latency probe operations
 ///   seconds=<f> warmup=<f> reps=<n> seed=<n> threshold=<f> max_ops=<n>
 ///   cv_threshold=<f>          steady-state CV threshold in (0,1]

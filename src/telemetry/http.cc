@@ -1,18 +1,10 @@
 #include "src/telemetry/http.h"
 
 #include <cerrno>
-#include <cstring>
 #include <sstream>
 #include <utility>
 
-#if defined(__unix__) || defined(__APPLE__)
-#define SB7_HAVE_SOCKETS 1
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/time.h>
-#include <unistd.h>
-#endif
+#include "src/net/net.h"
 
 namespace sb7::telemetry {
 
@@ -28,19 +20,13 @@ namespace {
 // How long one poll round blocks: the Stop() latency ceiling.
 constexpr int kPollMillis = 100;
 
+// Total budget for reading one request and writing its response; a client
+// slower than this is dropped (its handler thread, not the accept loop,
+// eats the wait).
+constexpr int kIoBudgetMillis = 2000;
+
 // Requests beyond this are broken clients, not scrapes.
 constexpr size_t kMaxRequestBytes = 8192;
-
-void WriteAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = send(fd, data.data() + sent, data.size() - sent, 0);
-    if (n <= 0) {
-      return;  // client went away; nothing to clean up beyond the close
-    }
-    sent += static_cast<size_t>(n);
-  }
-}
 
 std::string StatusLine(int code) {
   switch (code) {
@@ -55,54 +41,65 @@ std::string StatusLine(int code) {
   }
 }
 
+// `include_body` distinguishes GET from HEAD: a HEAD response advertises
+// the length the corresponding GET body would have (RFC 7231 §4.3.2) while
+// sending no body bytes — handing an empty body here would lie
+// "Content-Length: 0" to scrapers probing endpoint size.
 std::string MakeResponse(int code, const std::string& content_type,
-                         const std::string& body) {
+                         const std::string& body, bool include_body) {
   std::ostringstream out;
   out << StatusLine(code) << "\r\n"
       << "Content-Type: " << content_type << "\r\n"
       << "Content-Length: " << body.size() << "\r\n"
-      << "Connection: close\r\n\r\n"
-      << body;
+      << "Connection: close\r\n\r\n";
+  if (include_body) {
+    out << body;
+  }
   return out.str();
+}
+
+// Reads until the header terminator, the size cap, EOF, or the deadline.
+// The fd is non-blocking; waits go through the EINTR-retrying PollRetry.
+std::string ReadRequest(int fd) {
+  std::string request;
+  char buffer[1024];
+  int remaining = kIoBudgetMillis;
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = net::ReadSome(fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      request.append(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      break;  // client closed its half; parse whatever arrived
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      break;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (remaining <= 0 || net::PollRetry(&pfd, 1, kPollMillis) < 0) {
+      break;  // budget spent or poll error: drop the slow client
+    }
+    remaining -= kPollMillis;
+  }
+  return request;
 }
 
 }  // namespace
 
 bool MetricsHttpServer::Start(int port, std::string* error) {
-  auto fail = [error](const std::string& what) {
+  net::ListenResult listen = net::ListenTcp(port, /*backlog=*/16);
+  if (!listen.ok()) {
     if (error != nullptr) {
-      *error = what + ": " + std::strerror(errno);
+      *error = listen.error;
     }
     return false;
-  };
-  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return fail("socket");
   }
-  const int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return fail("bind to port " + std::to_string(port));
-  }
-  if (listen(listen_fd_, 16) != 0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return fail("listen");
-  }
-  socklen_t len = sizeof(addr);
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
-    port_ = static_cast<int>(ntohs(addr.sin_port));
-  } else {
-    port_ = port;
-  }
+  listen_fd_ = std::move(listen.fd);
+  port_ = listen.port;
   // mo: release — publishes the bound socket/port to running() readers.
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this]() { Serve(); });
@@ -112,52 +109,90 @@ bool MetricsHttpServer::Start(int port, std::string* error) {
 void MetricsHttpServer::Serve() {
   // mo: acquire — pairs with Start's release and Stop's acq_rel exchange.
   while (running_.load(std::memory_order_acquire)) {
-    pollfd pfd;
-    pfd.fd = listen_fd_;
+    pollfd pfd{};
+    pfd.fd = listen_fd_.get();
     pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int ready = poll(&pfd, 1, kPollMillis);
+    const int ready = net::PollRetry(&pfd, 1, kPollMillis);
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) {
       continue;
     }
-    // Drain every pending connection this round; accept stops blocking
-    // once the backlog is empty because the listener is only read after
-    // poll reported readiness (a race with a dropped client yields one
-    // spurious blocking accept at worst, bounded by the next scrape).
-    const int client = accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      continue;
+    // Drain every pending connection this round. The listener is
+    // non-blocking, so a client that vanished between poll readiness and
+    // accept yields EAGAIN instead of wedging the loop.
+    for (;;) {
+      const int client = net::AcceptRetry(listen_fd_.get());
+      if (client < 0) {
+        break;
+      }
+      if (!net::SetNonBlocking(client)) {
+        net::CloseFd(client);
+        continue;
+      }
+      // One short-lived thread per connection: a stalled scraper costs its
+      // own thread kIoBudgetMillis, never the accept loop or other scrapes.
+      auto done = std::make_shared<std::atomic<bool>>(false);
+      net::UniqueFd client_fd(client);
+      std::thread handler([this, done, fd = std::move(client_fd)]() mutable {
+        HandleConnection(std::move(fd));
+        // mo: release — publishes handler completion to the reaper's
+        // acquire load in JoinHandlers.
+        done->store(true, std::memory_order_release);
+      });
+      {
+        std::lock_guard<std::mutex> lock(handlers_mutex_);
+        handlers_.push_back(HandlerThread{std::move(handler), done});
+      }
+      JoinHandlers(/*all=*/false);
     }
-    HandleConnection(client);
-    close(client);
   }
 }
 
-void MetricsHttpServer::HandleConnection(int client_fd) {
-  // Bounded read until the header terminator; scrape requests are tiny.
-  timeval timeout;
-  timeout.tv_sec = 2;
-  timeout.tv_usec = 0;
-  setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-  std::string request;
-  char buffer[1024];
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos) {
-    const ssize_t n = recv(client_fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) {
-      break;
+void MetricsHttpServer::JoinHandlers(bool all) {
+  std::vector<HandlerThread> finished;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mutex_);
+    if (all) {
+      finished.swap(handlers_);
+    } else {
+      for (auto it = handlers_.begin(); it != handlers_.end();) {
+        // mo: acquire — pairs with the handler's release store on exit.
+        if (it->done->load(std::memory_order_acquire)) {
+          finished.push_back(std::move(*it));
+          it = handlers_.erase(it);
+        } else {
+          ++it;
+        }
+      }
     }
-    request.append(buffer, static_cast<size_t>(n));
   }
+  for (HandlerThread& handler : finished) {
+    if (handler.thread.joinable()) {
+      handler.thread.join();
+    }
+  }
+}
+
+void MetricsHttpServer::HandleConnection(net::UniqueFd client_fd) {
+  const int fd = client_fd.get();
+  // net::WriteAll is SIGPIPE-free (MSG_NOSIGNAL) and deadline-bounded: a
+  // scraper that disconnects mid-response surfaces as a failed write, not
+  // a process-killing signal; a stalled one is dropped after the budget.
+  auto respond = [fd](int code, const std::string& content_type,
+                      const std::string& body, bool include_body) {
+    net::WriteAll(fd, MakeResponse(code, content_type, body, include_body),
+                  kIoBudgetMillis);
+  };
+
+  const std::string request = ReadRequest(fd);
   // Request line: METHOD SP PATH SP VERSION.
   const size_t method_end = request.find(' ');
   if (method_end == std::string::npos) {
-    WriteAll(client_fd, MakeResponse(400, "text/plain", "bad request\n"));
+    respond(400, "text/plain", "bad request\n", true);
     return;
   }
   const size_t path_end = request.find(' ', method_end + 1);
   if (path_end == std::string::npos) {
-    WriteAll(client_fd, MakeResponse(400, "text/plain", "bad request\n"));
+    respond(400, "text/plain", "bad request\n", true);
     return;
   }
   const std::string method = request.substr(0, method_end);
@@ -166,36 +201,32 @@ void MetricsHttpServer::HandleConnection(int client_fd) {
     path.resize(query);  // scrapers may append ?format=...; exact-match the path
   }
   if (method != "GET" && method != "HEAD") {
-    WriteAll(client_fd, MakeResponse(405, "text/plain", "GET only\n"));
+    respond(405, "text/plain", "GET only\n", true);
     return;
   }
   const auto route = routes_.find(path);
   if (route == routes_.end()) {
-    WriteAll(client_fd, MakeResponse(404, "text/plain", "not found\n"));
+    respond(404, "text/plain", "not found\n", method == "GET");
     return;
   }
+  // The body is rendered for HEAD too: its length is the contract.
   const std::string body = route->second.handler();
-  WriteAll(client_fd,
-           MakeResponse(200, route->second.content_type, method == "HEAD" ? "" : body));
+  respond(200, route->second.content_type, body, method == "GET");
 }
 
 void MetricsHttpServer::Stop() {
   // mo: acq_rel — one winner flips the flag and joins; losers see the fd
   // state the winner published.
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
-    if (listen_fd_ >= 0) {
-      close(listen_fd_);
-      listen_fd_ = -1;
-    }
+    JoinHandlers(/*all=*/true);
+    listen_fd_.reset();
     return;
   }
   if (thread_.joinable()) {
     thread_.join();
   }
-  if (listen_fd_ >= 0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  JoinHandlers(/*all=*/true);
+  listen_fd_.reset();
 }
 
 #else  // !SB7_HAVE_SOCKETS
@@ -208,7 +239,8 @@ bool MetricsHttpServer::Start(int, std::string* error) {
 }
 
 void MetricsHttpServer::Serve() {}
-void MetricsHttpServer::HandleConnection(int) {}
+void MetricsHttpServer::HandleConnection(net::UniqueFd) {}
+void MetricsHttpServer::JoinHandlers(bool) {}
 // mo: release — stub platform; keeps the flag discipline uniform.
 void MetricsHttpServer::Stop() { running_.store(false, std::memory_order_release); }
 

@@ -1,11 +1,14 @@
-// Minimal HTTP/1.0 exposition endpoint: one poll-loop thread, GET-only,
-// Connection: close. Serves the handlers registered before Start() — the
-// telemetry facade mounts /metrics (Prometheus text) and /series (JSON).
+// Minimal HTTP/1.0 exposition endpoint: an accept loop thread plus one
+// short-lived handler thread per connection, GET/HEAD only, Connection:
+// close. Serves the handlers registered before Start() — the telemetry
+// facade mounts /metrics (Prometheus text) and /series (JSON).
 //
 // Deliberately not a web server: no keep-alive, no chunking, no TLS, one
-// request per connection, bounded request read. It exists so a running
-// benchmark can be scraped (`curl :9187/metrics`) and as the first socket
-// ingress on the sb7-serve roadmap path.
+// request per connection, bounded request read. All socket I/O goes
+// through the hardened src/net/ primitives (SIGPIPE-free writes, EINTR
+// retries, non-blocking fds with deadline-bounded I/O), so a scraper that
+// disconnects mid-response or stalls mid-request can neither kill the
+// process nor wedge other scrapes.
 
 #ifndef STMBENCH7_SRC_TELEMETRY_HTTP_H_
 #define STMBENCH7_SRC_TELEMETRY_HTTP_H_
@@ -13,15 +16,21 @@
 #include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
+
+#include "src/net/net.h"
 
 namespace sb7::telemetry {
 
 class MetricsHttpServer {
  public:
-  // Returns the response body; called on the server thread, so it must be
-  // safe to run concurrently with the benchmark's worker threads.
+  // Returns the response body; called on a handler thread, so it must be
+  // safe to run concurrently with the benchmark's worker threads (and with
+  // other handler threads).
   using Handler = std::function<std::string()>;
 
   MetricsHttpServer() = default;
@@ -32,11 +41,12 @@ class MetricsHttpServer {
   // Mount `handler` at `path` (exact match). Call before Start().
   void Handle(std::string path, std::string content_type, Handler handler);
 
-  // Binds (port 0 = ephemeral; see port()), spawns the poll loop. Returns
-  // false with `error` set on bind/listen failure.
+  // Binds (port 0 = ephemeral; see port()), spawns the accept loop.
+  // Returns false with `error` set on bind/listen failure.
   bool Start(int port, std::string* error);
 
-  // Joins the poll loop and closes the socket. Idempotent.
+  // Joins the accept loop and every in-flight handler, closes the socket.
+  // Idempotent.
   void Stop();
 
   // mo: acquire — pairs with Start's release store of the bound state.
@@ -51,15 +61,26 @@ class MetricsHttpServer {
   };
 
   void Serve();
-  void HandleConnection(int client_fd);
+  void HandleConnection(net::UniqueFd client_fd);
+  // Reaps finished handler threads; joins all of them when `all` is set.
+  void JoinHandlers(bool all);
 
   std::map<std::string, Route> routes_;
-  int listen_fd_ = -1;
+  net::UniqueFd listen_fd_;
   int port_ = -1;
   std::thread thread_;
-  // mo: acquire/release — the poll loop re-checks this between poll rounds;
-  // release in Stop() pairs with the loop's acquire load.
+  // mo: acquire/release — the accept loop re-checks this between poll
+  // rounds; release in Stop() pairs with the loop's acquire load.
   std::atomic<bool> running_{false};
+
+  // In-flight handler threads, each tagged done when its connection
+  // finishes so the accept loop can reap without blocking.
+  struct HandlerThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex handlers_mutex_;
+  std::vector<HandlerThread> handlers_;
 };
 
 }  // namespace sb7::telemetry

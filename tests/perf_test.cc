@@ -153,6 +153,7 @@ threads=1,4
 workloads=r,w
 scales=tiny
 mixes=short
+serves=inproc,wire
 probes=T1
 seconds=0.5
 warmup=0.1
@@ -172,6 +173,7 @@ max_ops=500
   EXPECT_EQ(spec.workloads, (std::vector<std::string>{"r", "w"}));
   EXPECT_EQ(spec.scales, (std::vector<std::string>{"tiny"}));
   EXPECT_EQ(spec.mixes, (std::vector<std::string>{"short"}));
+  EXPECT_EQ(spec.serves, (std::vector<std::string>{"inproc", "wire"}));
   EXPECT_EQ(spec.probes, (std::vector<std::string>{"T1"}));
   EXPECT_DOUBLE_EQ(spec.seconds, 0.5);
   EXPECT_DOUBLE_EQ(spec.warmup, 0.1);
@@ -195,6 +197,9 @@ TEST(SweepSpecTest, RejectsBadSpecs) {
   EXPECT_FALSE(parse("backends=tl2\nthreads=0").spec.has_value());
   EXPECT_FALSE(parse("backends=tl2\nworkloads=z").spec.has_value());
   EXPECT_FALSE(parse("backends=tl2\nmixes=bogus").spec.has_value());
+  EXPECT_FALSE(parse("backends=tl2\nserves=bogus").spec.has_value());
+  EXPECT_FALSE(parse("backends=tl2\nserves=wire\nscenarios=write-storm").spec.has_value())
+      << "wire cells have no phased-scenario analogue";
   EXPECT_FALSE(parse("backends=tl2\nscenarios=bogus").spec.has_value());
   EXPECT_FALSE(parse("backends=tl2\nprobes=OP99x").spec.has_value());
   EXPECT_FALSE(parse("backends=tl2\nmetric=latency").spec.has_value())
@@ -238,6 +243,7 @@ TEST(SweepSpecTest, BenchSpecsFilesMatchTheBuiltins) {
     EXPECT_EQ(file_spec.indexes, builtin->indexes);
     EXPECT_EQ(file_spec.cms, builtin->cms);
     EXPECT_EQ(file_spec.mixes, builtin->mixes);
+    EXPECT_EQ(file_spec.serves, builtin->serves);
     EXPECT_EQ(file_spec.probes, builtin->probes);
     EXPECT_DOUBLE_EQ(file_spec.seconds, builtin->seconds);
     EXPECT_DOUBLE_EQ(file_spec.warmup, builtin->warmup);
@@ -265,10 +271,13 @@ TEST(SweepCellsTest, ExpandIsTheCartesianProductAndKeysArePinned) {
   spec.workloads = {"r", "w"};
   spec.mixes = {"full", "short"};
   ASSERT_EQ(spec.Validate(), "");
+  EXPECT_EQ(spec.serves, (std::vector<std::string>{"inproc"}))
+      << "the serve axis defaults to inproc-only";
   const std::vector<SweepCell> cells = ExpandCells(spec);
   ASSERT_EQ(cells.size(), 2u * 2u * 2u * 2u);
   // The canonical cell key format is part of the BENCH schema: --compare
-  // matches across runs (and releases) by this exact string.
+  // matches across runs (and releases) by this exact string. The default
+  // serve=inproc adds no suffix, so pre-serve-axis baselines keep matching.
   EXPECT_EQ(CellKey(cells[0]),
             "backend=coarse threads=1 workload=r scenario=- scale=small "
             "index=default cm=default mix=full");
@@ -277,6 +286,13 @@ TEST(SweepCellsTest, ExpandIsTheCartesianProductAndKeysArePinned) {
     keys.insert(CellKey(cell));
   }
   EXPECT_EQ(keys.size(), cells.size()) << "cell keys must be unique";
+
+  // Wire cells append the serve suffix (and only they do).
+  SweepCell wire = cells[0];
+  wire.serve = "wire";
+  EXPECT_EQ(CellKey(wire),
+            "backend=coarse threads=1 workload=r scenario=- scale=small "
+            "index=default cm=default mix=full serve=wire");
 }
 
 // ----------------------------------------------------- BENCH_*.json golden --
@@ -341,7 +357,7 @@ TEST(BenchJsonGoldenTest, SchemaKeySetAndAxesBlockArePinned) {
   ASSERT_NE(axes, nullptr);
   EXPECT_EQ(KeysOf(*axes),
             (std::set<std::string>{"backends", "threads", "workloads", "scenarios",
-                                   "scales", "indexes", "cms", "mixes"}));
+                                   "scales", "indexes", "cms", "mixes", "serves"}));
   ASSERT_EQ(axes->Find("backends")->Items().size(), 2u);
   EXPECT_EQ(axes->Find("backends")->Items()[0].AsString(), "coarse");
   EXPECT_EQ(axes->Find("backends")->Items()[1].AsString(), "tl2");
@@ -363,10 +379,12 @@ TEST(BenchJsonGoldenTest, PerCellStatsKeySetIsPinned) {
   // Schema 3: cells of a telemetry-on sweep (the default) always carry the
   // steady_state block; the hw block appears only where perf_event opened,
   // so the pin tolerates either (CI containers often lack perf_event).
+  // Schema 4 added "serve" and "p999_ms" to every cell.
   std::set<std::string> base_keys = {
       "key",  "backend", "threads", "workload", "scenario",         "scale",
-      "index", "cm",     "mix",     "reps",     "elapsed_median_s", "throughput_median",
-      "throughput_min", "throughput_max", "started_median", "probes", "steady_state"};
+      "index", "cm",     "mix",     "serve",    "reps",     "elapsed_median_s",
+      "throughput_median", "throughput_min", "throughput_max", "started_median",
+      "p999_ms", "probes", "steady_state"};
   const JsonValue& coarse = cells->Items()[0];
   const JsonValue& tl2 = cells->Items()[1];
   EXPECT_EQ(coarse.Find("backend")->AsString(), "coarse");
@@ -427,6 +445,56 @@ TEST(BenchJsonGoldenTest, PerCellStatsKeySetIsPinned) {
 
   // Untraced cells carry no conflicts block.
   EXPECT_EQ(tl2.Find("conflicts"), nullptr);
+
+  // Inproc cells carry no wire block and print serve=inproc.
+  EXPECT_EQ(coarse.Find("serve")->AsString(), "inproc");
+  EXPECT_EQ(coarse.Find("wire"), nullptr);
+}
+
+// A real serve=wire cell: the runner drains a loopback OpServer fed by the
+// closed-loop load client, and the artifact appends the pinned wire block.
+TEST(BenchJsonGoldenTest, WireCellsRunOverLoopbackAndCarryTheWireBlock) {
+  SweepSpec spec;
+  spec.name = "golden-wire";
+  spec.backends = {"coarse"};
+  spec.threads = {2};
+  spec.workloads = {"r"};
+  spec.scales = {"tiny"};
+  spec.mixes = {"short"};
+  spec.serves = {"wire"};
+  spec.seconds = 0.3;
+  spec.warmup = 0.0;
+  spec.reps = 1;
+  ASSERT_EQ(spec.Validate(), "");
+  SweepRunOptions options;
+  options.telemetry = false;
+  const SweepRunOutcome outcome = RunSweep(spec, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+  ASSERT_EQ(outcome.result.cells.size(), 1u);
+  const CellResult& cell = outcome.result.cells[0];
+  EXPECT_TRUE(cell.wire);
+  EXPECT_GT(cell.throughput_median, 0.0) << "server-side accounting must see the requests";
+  EXPECT_GT(cell.wire_stats.sent, 0);
+  EXPECT_GT(cell.wire_stats.ok, 0);
+  EXPECT_EQ(cell.wire_stats.bad, 0);
+  // The run-end drain rejects stranded requests instead of losing them, so
+  // a closed-loop client never times out waiting on a dead queue.
+  EXPECT_EQ(cell.wire_stats.lost, 0);
+  EXPECT_GE(cell.wire_stats.p999_ms, cell.wire_stats.p50_ms);
+
+  std::ostringstream out;
+  WriteSweepJson(out, outcome.result);
+  const JsonParseResult parsed = ParseJson(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const JsonValue& jcell = parsed.value.Find("cells")->Items()[0];
+  EXPECT_NE(jcell.Find("key")->AsString().find("serve=wire"), std::string::npos);
+  EXPECT_EQ(jcell.Find("serve")->AsString(), "wire");
+  const JsonValue* wire = jcell.Find("wire");
+  ASSERT_NE(wire, nullptr);
+  EXPECT_EQ(KeysOf(*wire),
+            (std::set<std::string>{"sent", "ok", "op_failed", "rejected", "bad", "lost",
+                                   "client_throughput", "p50_ms", "p99_ms", "p999_ms",
+                                   "max_ms"}));
 }
 
 TEST(BenchJsonGoldenTest, TracedCellsAppendThePinnedConflictsBlock) {

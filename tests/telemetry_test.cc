@@ -20,7 +20,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -485,6 +487,149 @@ TEST(MetricsEndpointTest, ServesMetricsSeriesAnd404) {
 
   telemetry.Stop();
   EXPECT_FALSE(telemetry.server_running());
+}
+
+// Connects a raw blocking socket to localhost:`port`; -1 on failure.
+int ConnectLoopback(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// One blocking HTTP/1.0 request with an arbitrary method; raw response.
+std::string HttpRequest(int port, const std::string& method, const std::string& path) {
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) return "";
+  const std::string request = method + " " + path + " HTTP/1.0\r\n\r\n";
+  (void)!write(fd, request.data(), request.size());
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+// Parses the Content-Length header out of a raw response; -1 when absent.
+long ContentLength(const std::string& response) {
+  const std::string key = "Content-Length: ";
+  const size_t at = response.find(key);
+  if (at == std::string::npos) return -1;
+  return std::stol(response.substr(at + key.size()));
+}
+
+// Builds a started telemetry facade with one recorded sample, serving on an
+// ephemeral port — the shared fixture for the endpoint-robustness tests.
+struct ServingTelemetry {
+  ManualClock clock;
+  std::unique_ptr<Telemetry> telemetry;
+  int port = -1;
+
+  ServingTelemetry() {
+    TelemetryOptions options;
+    options.background = false;
+    options.hw_counters = false;
+    options.clock = &clock;
+    options.metrics_port = 0;
+    telemetry = std::make_unique<Telemetry>(options);
+    RunInfo info;
+    info.backend = "tl2";
+    info.scale = "tiny";
+    info.threads = 2;
+    telemetry->SetRunInfo(info);
+    std::string error;
+    if (!telemetry->StartServer(&error)) return;
+    port = telemetry->server_port();
+    telemetry->Start();
+    for (int i = 0; i < 10; ++i) telemetry->RecordOp(true, 2 * kMs);
+    clock.AdvanceSeconds(1.0);
+    telemetry->SampleNow();
+  }
+};
+
+TEST(MetricsEndpointTest, HeadAdvertisesTheGetBodyLength) {
+  ServingTelemetry serving;
+  ASSERT_GT(serving.port, 0);
+
+  for (const std::string path : {"/metrics", "/series"}) {
+    const std::string get = HttpRequest(serving.port, "GET", path);
+    const std::string head = HttpRequest(serving.port, "HEAD", path);
+    ASSERT_NE(get.find("200 OK"), std::string::npos) << path;
+    ASSERT_NE(head.find("200 OK"), std::string::npos) << path;
+
+    const size_t body_at = get.find("\r\n\r\n");
+    ASSERT_NE(body_at, std::string::npos);
+    const long body_size = static_cast<long>(get.size() - body_at - 4);
+    EXPECT_EQ(ContentLength(get), body_size) << path;
+
+    // The regression: HEAD used to advertise the empty body it sent
+    // (Content-Length: 0) instead of the length the GET body would have.
+    EXPECT_EQ(ContentLength(head), body_size) << path;
+    EXPECT_GT(ContentLength(head), 0) << path;
+    // ... while sending no body bytes at all.
+    const size_t head_body_at = head.find("\r\n\r\n");
+    ASSERT_NE(head_body_at, std::string::npos);
+    EXPECT_EQ(head.size(), head_body_at + 4) << path;
+  }
+  serving.telemetry->Stop();
+}
+
+TEST(MetricsEndpointTest, SurvivesAScraperDisconnectStorm) {
+  ServingTelemetry serving;
+  ASSERT_GT(serving.port, 0);
+
+  // Each client sends a scrape and slams the connection shut without
+  // reading: the server's response write hits a dead peer every time. With
+  // a plain send() this raises SIGPIPE and kills the process (the original
+  // bug); with MSG_NOSIGNAL it is just a failed write on a doomed socket.
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  for (int i = 0; i < 50; ++i) {
+    const int fd = ConnectLoopback(serving.port);
+    ASSERT_GE(fd, 0);
+    (void)!write(fd, request.data(), request.size());
+    struct linger hard_close = {1, 0};  // RST on close: the rudest disconnect
+    setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close, sizeof(hard_close));
+    close(fd);
+  }
+
+  // The endpoint (and the process) is still alive and serving.
+  const std::string after = HttpGet(serving.port, "/metrics");
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+  EXPECT_NE(after.find("sb7_ops_completed_total"), std::string::npos);
+  serving.telemetry->Stop();
+}
+
+TEST(MetricsEndpointTest, SlowClientDoesNotBlockConcurrentScrapes) {
+  ServingTelemetry serving;
+  ASSERT_GT(serving.port, 0);
+
+  // A client that connects, dribbles half a request line and stalls. It
+  // owns one handler thread for the I/O budget — the accept loop and other
+  // scrapers must not wait behind it.
+  const int slow = ConnectLoopback(serving.port);
+  ASSERT_GE(slow, 0);
+  const std::string partial = "GET /met";
+  (void)!write(slow, partial.data(), partial.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::string metrics = HttpGet(serving.port, "/metrics");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  // Well under the 2 s per-connection I/O budget the stalled client eats.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 1500);
+
+  close(slow);
+  serving.telemetry->Stop();
 }
 
 // ------------------------------------------------------- hardware counters --

@@ -4,8 +4,8 @@
 // bad fixtures under tools/lint/fixtures/ must trip every rule).
 //
 // Rules:
-//   R1  atomics discipline — in src/stm, src/mvstm, src/trace, src/telemetry
-//       every atomic
+//   R1  atomics discipline — in src/stm, src/mvstm, src/trace,
+//       src/telemetry and src/net every atomic
 //       member op (.load/.store/.exchange/.fetch_*/.compare_exchange_*)
 //       must name a memory_order (no defaulted seq_cst) and carry a
 //       `// mo:` rationale on the same line or within the 6 preceding ones.
@@ -494,7 +494,8 @@ std::vector<Finding> LintTree(const fs::path& root, std::string* error) {
     }
     const bool r1_scope = HasPrefix(label, "src/stm/") || HasPrefix(label, "src/mvstm/") ||
                           HasPrefix(label, "src/trace/") ||
-                          HasPrefix(label, "src/telemetry/");
+                          HasPrefix(label, "src/telemetry/") ||
+                          HasPrefix(label, "src/net/");
     const bool r2_allowed = HasPrefix(label, "src/stm/") || HasPrefix(label, "src/mvstm/");
     if (r1_scope) {
       CheckAtomicsDiscipline(*file, &findings);
