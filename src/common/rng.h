@@ -44,6 +44,20 @@ class Rng {
   // copy of this generator. Used to hand each worker thread its own stream.
   Rng Split();
 
+  // State capture for the redo log's replay records (src/mvstm/redo_log.h):
+  // a restored generator continues the stream bit-identically, so replaying
+  // a logged transaction consumes exactly the draws the original attempt did.
+  void SaveState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) {
+      out[i] = s_[i];
+    }
+  }
+  void RestoreState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) {
+      s_[i] = in[i];
+    }
+  }
+
  private:
   uint64_t s_[4];
 };

@@ -44,6 +44,16 @@ std::string UsageText() {
   --verify               check all structure invariants after the run
   --check-opacity        record committed read/write sets and verify the
                          history is opaque (STM strategies only)
+  --redo-log <file>      append a durable redo log during the run and commit
+                         writers in groups (-g mvstm only; docs/DURABILITY.md)
+  --durability <policy>  redo-log fsync policy: off | group | always
+                         (default off; requires --redo-log)
+  --crash-at <point>:<n> fault injection: wound the log and die at group n;
+                         point is before-append | torn-write | after-append
+                         (requires --redo-log; exits 137, like kill -9)
+  --recover <file>       replay a redo log instead of running a benchmark and
+                         print the recovered world's fingerprint (-g selects
+                         the replay backend, default mvstm)
   --differential         run the differential cross-backend oracle instead of
                          a benchmark (uses --seed, -s, --max-ops)
   --fuzz <seed>          run the deterministic fuzz/stress driver (see also
@@ -71,6 +81,7 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
   bool fuzz_sweep_flag_given = false;  // --fuzz-cases / --fuzz-budget
   bool trace_knob_given = false;       // --trace-sample / --trace-buffer
   bool telemetry_knob_given = false;   // --telemetry-interval / --no-hw-counters
+  bool durability_knob_given = false;  // --durability / --crash-at
   // The --fuzz-* companion flags may appear in any order relative to --fuzz.
   auto fuzz_cli = [&result]() -> FuzzCli& {
     if (!result.fuzz.has_value()) {
@@ -232,6 +243,36 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
       config.verify_invariants = true;
     } else if (arg == "--check-opacity") {
       config.check_opacity = true;
+    } else if (arg == "--redo-log") {
+      if (!next(value) || value.empty()) {
+        return fail("--redo-log requires a file path");
+      }
+      config.redo_log_path = value;
+    } else if (arg == "--durability") {
+      redo::Durability durability = redo::Durability::kOff;
+      if (!next(value) || !redo::ParseDurability(value, &durability)) {
+        return fail("--durability requires off, group or always");
+      }
+      config.durability = value;
+      durability_knob_given = true;
+    } else if (arg == "--crash-at") {
+      // <point>:<group>, e.g. torn-write:5.
+      std::string::size_type colon;
+      uint64_t group = 0;
+      if (!next(value) || (colon = value.find(':')) == std::string::npos ||
+          !redo::ParseCrashPoint(value.substr(0, colon), &config.crash_point) ||
+          !ParseUint64(value.substr(colon + 1), group)) {
+        return fail(
+            "--crash-at requires <point>:<group> with point one of "
+            "before-append, torn-write, after-append");
+      }
+      config.crash_at_group = group;
+      durability_knob_given = true;
+    } else if (arg == "--recover") {
+      if (!next(value) || value.empty()) {
+        return fail("--recover requires a redo-log file path");
+      }
+      result.recover_path = value;
     } else if (arg == "--differential") {
       result.differential = true;
     } else if (arg == "--fuzz") {
@@ -317,6 +358,15 @@ CliResult ParseCommandLine(int argc, const char* const* argv) {
     return fail(
         "--telemetry-interval/--no-hw-counters only apply with --telemetry <file> "
         "or --metrics-port <n>");
+  }
+  if (durability_knob_given && config.redo_log_path.empty()) {
+    return fail("--durability/--crash-at only apply with --redo-log <file>");
+  }
+  if (!config.redo_log_path.empty() && config.strategy != "mvstm") {
+    return fail("--redo-log requires -g mvstm (group commit is an mvstm capability)");
+  }
+  if (!result.recover_path.empty() && !config.redo_log_path.empty()) {
+    return fail("--recover replays an existing log; it cannot be combined with --redo-log");
   }
   return result;
 }

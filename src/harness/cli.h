@@ -41,6 +41,9 @@ struct CliResult {
   bool differential = false;
   // Run the deterministic fuzz driver instead of a benchmark.
   std::optional<FuzzCli> fuzz;
+  // Non-empty: replay this redo log (--recover <file>) instead of running a
+  // benchmark. The replay backend comes from -g (default mvstm).
+  std::string recover_path;
   // Set when parsing failed; the message describes the offending argument.
   std::optional<std::string> error;
 };

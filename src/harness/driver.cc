@@ -7,6 +7,8 @@
 
 #include "src/common/timing.h"
 #include "src/ebr/ebr.h"
+#include "src/mvstm/mvstm.h"
+#include "src/mvstm/redo_log.h"
 
 namespace sb7 {
 namespace {
@@ -35,6 +37,29 @@ BenchmarkRunner::BenchmarkRunner(const BenchConfig& config) : config_(config) {
   SB7_CHECK(config_.length_seconds > 0);
   strategy_ = MakeStrategy(config_.strategy, config_.contention_manager);
   SB7_CHECK(strategy_ != nullptr);
+
+  if (!config_.redo_log_path.empty()) {
+    // Group commit + redo logging is an mvstm capability (the CLI validates
+    // this; programmatic callers get the check below).
+    auto* mvstm = dynamic_cast<MvStm*>(strategy_->stm());
+    SB7_CHECK(mvstm != nullptr);
+    redo::Durability durability = redo::Durability::kOff;
+    SB7_CHECK(redo::ParseDurability(config_.durability, &durability));
+    redo_writer_ =
+        std::make_unique<redo::RedoLogWriter>(config_.redo_log_path, durability);
+    SB7_CHECK(redo_writer_->ok());
+    if (config_.crash_point != redo::CrashPoint::kNone) {
+      redo::CrashConfig crash;
+      crash.point = config_.crash_point;
+      crash.at_group = config_.crash_at_group;
+      redo_writer_->SetCrashConfig(std::move(crash));
+    }
+    // The header precedes the workers; every later append comes from the
+    // group-commit leader, so the writer never needs internal locking.
+    redo_writer_->WriteFileHeader(config_.seed, config_.scale, config_.strategy);
+    sequencer_ = std::make_unique<GroupCommitSequencer>(redo_writer_.get());
+    mvstm->AttachSequencer(sequencer_.get());
+  }
 
   if (config_.trace || !config_.trace_path.empty()) {
     config_.trace = true;
@@ -302,6 +327,10 @@ void BenchmarkRunner::WorkerLoop(int worker_index, Rng rng,
         }
         const int index = request.op_index;
         SetTxOpContext(index);
+        // Tag the attempt context so the redo log's member records carry the
+        // client's request id — what makes `acked ⊆ durable` checkable
+        // against a recovered log (tests/recovery_test.cc).
+        redo::SetCaptureClientTag(request.request_id);
         try {
           strategy_->Execute(*ops[index], *data_, rng);
           const int64_t latency = NowNanos() - begin;
@@ -323,6 +352,7 @@ void BenchmarkRunner::WorkerLoop(int worker_index, Rng rng,
           }
         }
         SetTxOpContext(-1);
+        redo::SetCaptureClientTag(0);
         phase.executed.fetch_add(1, std::memory_order_relaxed);
       }
       EbrDomain::Global().Quiesce();
@@ -507,6 +537,11 @@ BenchResult BenchmarkRunner::Run() {
       }
       stranded.clear();
     }
+  }
+  if (redo_writer_ != nullptr) {
+    // Workers are joined: no commit can race the close record. A writer a
+    // crash point killed stays frozen in its crash state (Close is dropped).
+    redo_writer_->Close();
   }
   if (telemetry_ != nullptr) {
     // Takes the tail sample, joins the sampler and shuts the exposition

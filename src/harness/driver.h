@@ -22,6 +22,7 @@
 #include <string>
 
 #include "src/common/hotspot.h"
+#include "src/mvstm/group_commit.h"
 #include "src/net/ingress.h"
 #include "src/net/wire.h"
 #include "src/core/data_holder.h"
@@ -95,6 +96,18 @@ struct BenchConfig {
   std::string csv_path;
   // When non-empty, the CLI writes a machine-readable JSON report here.
   std::string json_path;
+  // Durable redo log (mvstm only, docs/DURABILITY.md): when non-empty the
+  // runner opens a RedoLogWriter here, attaches a group-commit sequencer to
+  // the backend, and closes the log when the run ends (CLI --redo-log).
+  std::string redo_log_path;
+  // Fsync policy for the redo log: "off" | "group" | "always"
+  // (CLI --durability; meaningful only with a redo log).
+  std::string durability = "off";
+  // Fault injection for the crash-recovery tests (CLI --crash-at): fires the
+  // configured crash point when the log reaches `crash_at_group` groups.
+  // kNone = disabled. The default on_fire (_Exit(137)) stands in for kill -9.
+  redo::CrashPoint crash_point = redo::CrashPoint::kNone;
+  uint64_t crash_at_group = 0;
   uint64_t seed = 20070326;
 
   // Optional cap on started operations (whichever of time/cap hits first);
@@ -144,6 +157,11 @@ class BenchmarkRunner {
   // before Run() and flushes the JSONL artifact after; sb7-bench reads the
   // series for steady-state detection.
   telemetry::Telemetry* telemetry() const { return telemetry_.get(); }
+  // The run's redo-log writer; null unless config().redo_log_path is set.
+  // Valid for the runner's lifetime — the CLI reads the append stats for the
+  // run-end durability summary after Run() returns (the log itself is closed
+  // by then).
+  redo::RedoLogWriter* redo_writer() const { return redo_writer_.get(); }
 
  private:
   // One scenario phase, resolved against the run-level configuration.
@@ -197,6 +215,8 @@ class BenchmarkRunner {
   BenchConfig config_;
   OperationRegistry registry_;
   std::unique_ptr<SyncStrategy> strategy_;
+  std::unique_ptr<redo::RedoLogWriter> redo_writer_;
+  std::unique_ptr<GroupCommitSequencer> sequencer_;
   std::unique_ptr<DataHolder> data_;
   std::unique_ptr<trace::Tracer> tracer_;
   std::unique_ptr<telemetry::Telemetry> telemetry_;

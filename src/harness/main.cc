@@ -12,6 +12,7 @@
 #include "src/core/invariants.h"
 #include "src/harness/cli.h"
 #include "src/harness/report.h"
+#include "src/mvstm/redo_log.h"
 #include "src/trace/chrome_trace.h"
 
 namespace {
@@ -106,6 +107,24 @@ int RunFuzzMode(const sb7::BenchConfig& config, bool strategy_given,
   return 1;
 }
 
+// --recover <file>: rebuild the world from a redo log and report what was
+// recovered. Exit codes: 0 = recovered (torn tails included — that is the
+// kill -9 case working as designed), 1 = the log is structurally illegal or
+// the recovered world violates invariants, 2 = I/O error.
+int RunRecoverMode(const std::string& path, const std::string& backend) {
+  std::string bytes;
+  std::string error;
+  if (!sb7::redo::ReadLogFile(path, &bytes, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 2;
+  }
+  std::cerr << "replaying " << path << " (" << bytes.size() << " bytes) under '"
+            << backend << "'...\n";
+  const sb7::redo::ReplayResult result = sb7::redo::RecoverFromBytes(bytes, backend);
+  std::cout << sb7::redo::FormatReplayResult(result);
+  return result.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,6 +142,10 @@ int main(int argc, char** argv) {
   }
   if (cli.fuzz.has_value()) {
     return RunFuzzMode(cli.config, cli.strategy_given, *cli.fuzz);
+  }
+  if (!cli.recover_path.empty()) {
+    return RunRecoverMode(cli.recover_path,
+                          cli.strategy_given ? cli.config.strategy : "mvstm");
   }
 
   std::cerr << "building the " << cli.config.scale << " structure...\n";
@@ -164,6 +187,20 @@ int main(int argc, char** argv) {
     recorder.Uninstall();
   }
   sb7::PrintReport(std::cout, runner, result);
+
+  if (runner.redo_writer() != nullptr) {
+    const sb7::redo::RedoLogWriter& writer = *runner.redo_writer();
+    const sb7::redo::WriterStats& stats = writer.stats();
+    std::cerr << "redo log: " << writer.path() << " — " << stats.groups
+              << " groups, " << stats.members << " commits, " << stats.bytes
+              << " bytes, " << stats.fsyncs << " fsyncs (durability="
+              << sb7::redo::DurabilityName(writer.durability())
+              << (writer.closed() ? ", closed cleanly)" : ", NOT closed)") << "\n";
+    if (!writer.ok()) {
+      std::cerr << "error: redo log writer failed: " << writer.error() << "\n";
+      return 2;
+    }
+  }
 
   if (!cli.config.csv_path.empty()) {
     std::ofstream csv(cli.config.csv_path);

@@ -4,11 +4,14 @@
 
 #include "src/common/diag.h"
 #include "src/ebr/ebr.h"
+#include "src/mvstm/group_commit.h"
 #include "src/mvstm/version_chain.h"
 
 namespace sb7 {
 
-std::unique_ptr<TxImplBase> MvStm::CreateTx() { return std::make_unique<MvTx>(stats()); }
+std::unique_ptr<TxImplBase> MvStm::CreateTx() {
+  return std::make_unique<MvTx>(stats(), sequencer_);
+}
 
 void MvTx::SetReadOnly(bool read_only) {
   // Called once per RunAtomically execution, before the first attempt.
@@ -166,6 +169,28 @@ bool MvTx::TryCommit() {
     FlushLocalStats();
     RunAbortHooks();
     return false;
+  }
+  if (sequencer_ != nullptr) {
+    // Group-commit path (group_commit.h): the group's leader takes the clock
+    // tick and drives the redo-log append; validation runs inside
+    // CommitThrough on this thread. On success the append (per the log's
+    // durability policy) has already happened, so publishing here keeps the
+    // write-ahead rule: no version becomes visible that the log does not
+    // describe.
+    uint64_t wv = 0;
+    if (!sequencer_->CommitThrough(*this, &wv)) {
+      ReleaseAcquired(0, /*use_saved=*/true);
+      FlushLocalStats();
+      RunAbortHooks();
+      return false;
+    }
+    for (const WriteEntry& entry : write_log_) {
+      VersionChain::Publish(*entry.field, entry.value, wv);
+    }
+    ReleaseAcquired(wv, /*use_saved=*/false);
+    FlushLocalStats();
+    RunCommitHooks();
+    return true;
   }
   const uint64_t wv = LockTable::ClockAdvance();
   if (wv != start_ts_ + 1 && !ValidateReadSet()) {

@@ -30,17 +30,33 @@
 
 namespace sb7 {
 
+class GroupCommitSequencer;
+
 class MvStm : public Stm {
  public:
   std::string_view name() const override { return "mvstm"; }
 
+  // Routes every update commit through `sequencer` (group commit + redo
+  // logging, src/mvstm/group_commit.h). Must be called before any
+  // transaction runs; detaching is not supported — transaction objects cache
+  // the pointer per thread. Null (the default) keeps the solo TL2-style
+  // commit path, so an unlogged run pays nothing for the feature.
+  void AttachSequencer(GroupCommitSequencer* sequencer) { sequencer_ = sequencer; }
+  GroupCommitSequencer* sequencer() const { return sequencer_; }
+
+  bool wants_replay_capture() const override { return sequencer_ != nullptr; }
+
  protected:
   std::unique_ptr<TxImplBase> CreateTx() override;
+
+ private:
+  GroupCommitSequencer* sequencer_ = nullptr;
 };
 
 class MvTx : public TxImplBase {
  public:
-  explicit MvTx(StmStats& stats) : stats_(stats) {}
+  explicit MvTx(StmStats& stats, GroupCommitSequencer* sequencer = nullptr)
+      : stats_(stats), sequencer_(sequencer) {}
 
   void SetReadOnly(bool read_only) override;
   void BeginAttempt() override;
@@ -54,6 +70,10 @@ class MvTx : public TxImplBase {
   uint64_t start_ts() const { return start_ts_; }
 
  private:
+  // The sequencer validates members on their own threads and needs the read
+  // set, start timestamp and write log for that (group_commit.cc).
+  friend class GroupCommitSequencer;
+
   struct WriteEntry {
     TxFieldBase* field;
     uint64_t value;
@@ -65,6 +85,7 @@ class MvTx : public TxImplBase {
   void FlushLocalStats();
 
   StmStats& stats_;
+  GroupCommitSequencer* sequencer_;
 
   // Mode for the current RunAtomically execution.
   bool hint_read_only_ = false;

@@ -37,6 +37,8 @@ struct ServeOptions {
   size_t queue_capacity = 1024;
   size_t batch = 16;
   int metrics_port = -1;
+  std::string redo_log;         // non-empty: durable redo log (mvstm only)
+  std::string durability = "off";
 
   // --connect mode
   bool connect = false;
@@ -66,6 +68,9 @@ server flags:
                             a full queue rejects with a typed error
       --batch <n>           requests per worker queue pop (default 16)
       --metrics-port <p>    telemetry /metrics endpoint (0 = ephemeral)
+      --redo-log <file>     append a durable redo log; group commit amortizes
+                            the fsyncs (-b mvstm only, docs/DURABILITY.md)
+      --durability <p>      off | group | always (default off; needs --redo-log)
 
 client flags:
   -t, --threads <n>         concurrent connections (default 4)
@@ -168,6 +173,21 @@ bool ParseArgs(int argc, char** argv, ServeOptions* opts, std::string* error) {
         return false;
       }
       opts->metrics_port = static_cast<int>(n);
+    } else if (arg == "--redo-log") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr || *value == '\0') {
+        *error = error->empty() ? "--redo-log needs a file path" : *error;
+        return false;
+      }
+      opts->redo_log = value;
+    } else if (arg == "--durability") {
+      const char* value = need_value(i, arg);
+      redo::Durability durability = redo::Durability::kOff;
+      if (value == nullptr || !redo::ParseDurability(value, &durability)) {
+        *error = error->empty() ? "--durability needs off, group or always" : *error;
+        return false;
+      }
+      opts->durability = value;
     } else if (arg == "--arrival") {
       const char* value = need_value(i, arg);
       if (value == nullptr) {
@@ -225,6 +245,10 @@ bool ParseArgs(int argc, char** argv, ServeOptions* opts, std::string* error) {
     *error = "exactly one of --listen or --connect is required";
     return false;
   }
+  if (!opts->redo_log.empty() && opts->backend != "mvstm") {
+    *error = "--redo-log requires -b mvstm (group commit is an mvstm capability)";
+    return false;
+  }
   return true;
 }
 
@@ -244,6 +268,8 @@ int RunServer(const ServeOptions& opts) {
   config.metrics_port = opts.metrics_port;
   config.ingress = &queue;
   config.ingress_batch = opts.batch;
+  config.redo_log_path = opts.redo_log;
+  config.durability = opts.durability;
 
   // The server must exist before the runner so the completion hook can
   // capture it; op_count comes from the runner's registry after build.
@@ -297,6 +323,13 @@ int RunServer(const ServeOptions& opts) {
             << stats.frames_in << ", bad " << stats.bad_frames
             << ", admitted " << queue.accepted() << ", rejected "
             << queue.rejected() << "\n";
+  if (runner.redo_writer() != nullptr) {
+    const redo::WriterStats& redo_stats = runner.redo_writer()->stats();
+    std::cout << "redo log: " << runner.redo_writer()->path() << " — "
+              << redo_stats.groups << " groups, " << redo_stats.members
+              << " commits, " << redo_stats.fsyncs << " fsyncs (durability="
+              << opts.durability << ")\n";
+  }
   return 0;
 }
 

@@ -119,7 +119,8 @@ void WriteSweepJson(std::ostream& out, const SweepResult& result) {
   WriteStringAxis(out, "indexes", spec.indexes);
   WriteStringAxis(out, "cms", spec.cms);
   WriteStringAxis(out, "mixes", spec.mixes);
-  WriteStringAxis(out, "serves", spec.serves, /*last=*/true);
+  WriteStringAxis(out, "serves", spec.serves);
+  WriteStringAxis(out, "durabilities", spec.durabilities, /*last=*/true);
   out << "  },\n";
 
   out << "  \"cells\": [";
@@ -137,7 +138,8 @@ void WriteSweepJson(std::ostream& out, const SweepResult& result) {
         << ", \"index\": " << JsonString(cell.cell.index)
         << ", \"cm\": " << JsonString(cell.cell.cm)
         << ", \"mix\": " << JsonString(cell.cell.mix)
-        << ", \"serve\": " << JsonString(cell.cell.serve) << ",\n";
+        << ", \"serve\": " << JsonString(cell.cell.serve)
+        << ", \"durability\": " << JsonString(cell.cell.durability) << ",\n";
     out << "      \"reps\": " << cell.reps
         << ", \"elapsed_median_s\": " << cell.elapsed_median_s << ",\n";
     out << "      \"throughput_median\": " << cell.throughput_median
@@ -256,6 +258,9 @@ std::string BlockLabel(const SweepSpec& spec, const SweepCell& cell, ColumnAxis 
   }
   if (spec.serves.size() > 1) {
     add("serve", cell.serve);
+  }
+  if (spec.durabilities.size() > 1) {
+    add("durability", cell.durability);
   }
   return out.str();
 }

@@ -39,6 +39,10 @@
 /// a "wire" block with the loopback load client's view:
 ///            {sent, ok, op_failed, rejected, bad, lost,
 ///             client_throughput, p50_ms, p99_ms, p999_ms, max_ms}
+/// Schema 5 adds the durability axis ("durabilities" in the axes block and
+/// "durability" in every cell — the redo-log fsync policy of
+/// docs/DURABILITY.md; "off" cells run without a redo log and their keys
+/// stay byte-identical to pre-durability baselines).
 /// Readers accept any schema in [1, current] (--compare treats the added
 /// keys as optional). Changing any of this is a schema bump and must
 /// update the golden test.
@@ -53,7 +57,7 @@
 namespace sb7::perf {
 
 /// The BENCH_*.json schema version this build writes and reads.
-constexpr int kBenchSchemaVersion = 4;
+constexpr int kBenchSchemaVersion = 5;
 
 /// Writes the machine-readable sweep artifact described above.
 void WriteSweepJson(std::ostream& out, const SweepResult& result);

@@ -1,5 +1,7 @@
 #include "src/perf/runner.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <memory>
 #include <ostream>
@@ -114,6 +116,16 @@ BenchConfig BuildCellConfig(const SweepSpec& spec, const SweepCell& cell, int re
   // Each repetition reseeds structure build and operation streams together,
   // so rep r is reproducible in isolation via --seed (spec.seed + r).
   config.seed = spec.seed + static_cast<uint64_t>(rep);
+
+  // Durability cells run with a scratch redo log (group-commit sequencer
+  // attached); "off" cells run the classic no-log path so they stay
+  // comparable against pre-durability baselines. The caller unlinks the
+  // scratch file after the repetition.
+  if (cell.durability != "off") {
+    config.redo_log_path = "/tmp/sb7_bench_" + std::to_string(::getpid()) + "_" +
+                           cell.durability + "_rep" + std::to_string(rep) + ".redo";
+    config.durability = cell.durability;
+  }
   return config;
 }
 
@@ -315,38 +327,45 @@ std::string CellKey(const SweepCell& cell) {
   if (cell.serve != "inproc") {
     out << " serve=" << cell.serve;
   }
+  if (cell.durability != "off") {
+    out << " durability=" << cell.durability;
+  }
   return out.str();
 }
 
 std::vector<SweepCell> ExpandCells(const SweepSpec& spec) {
-  // Axis nesting, outermost first: serve, mix, scale, scenario/workload,
-  // index, cm, backend, threads — so the human table reads as "one block per
-  // configuration, backends side by side, thread counts down the rows".
+  // Axis nesting, outermost first: durability, serve, mix, scale,
+  // scenario/workload, index, cm, backend, threads — so the human table reads
+  // as "one block per configuration, backends side by side, thread counts
+  // down the rows".
   std::vector<SweepCell> cells;
   std::vector<std::string> scenarios = spec.scenarios;
   if (scenarios.empty()) {
     scenarios = {""};
   }
-  for (const std::string& serve : spec.serves) {
-    for (const std::string& mix : spec.mixes) {
-      for (const std::string& scale : spec.scales) {
-        for (const std::string& scenario : scenarios) {
-          for (const std::string& workload : spec.workloads) {
-            for (const std::string& index : spec.indexes) {
-              for (const std::string& cm : spec.cms) {
-                for (const int threads : spec.threads) {
-                  for (const std::string& backend : spec.backends) {
-                    SweepCell cell;
-                    cell.backend = backend;
-                    cell.threads = threads;
-                    cell.workload = workload;
-                    cell.scenario = scenario;
-                    cell.scale = scale;
-                    cell.index = index;
-                    cell.cm = cm;
-                    cell.mix = mix;
-                    cell.serve = serve;
-                    cells.push_back(cell);
+  for (const std::string& durability : spec.durabilities) {
+    for (const std::string& serve : spec.serves) {
+      for (const std::string& mix : spec.mixes) {
+        for (const std::string& scale : spec.scales) {
+          for (const std::string& scenario : scenarios) {
+            for (const std::string& workload : spec.workloads) {
+              for (const std::string& index : spec.indexes) {
+                for (const std::string& cm : spec.cms) {
+                  for (const int threads : spec.threads) {
+                    for (const std::string& backend : spec.backends) {
+                      SweepCell cell;
+                      cell.backend = backend;
+                      cell.threads = threads;
+                      cell.workload = workload;
+                      cell.scenario = scenario;
+                      cell.scale = scale;
+                      cell.index = index;
+                      cell.cm = cm;
+                      cell.mix = mix;
+                      cell.serve = serve;
+                      cell.durability = durability;
+                      cells.push_back(cell);
+                    }
                   }
                 }
               }
@@ -369,6 +388,9 @@ SweepRunOutcome RunSweep(const SweepSpec& spec, const SweepRunOptions& options) 
     std::vector<RepSample> samples;
     for (int rep = 0; rep < spec.reps; ++rep) {
       BenchConfig config = BuildCellConfig(spec, cell, rep);
+      // The scratch redo log of a durability cell; empty otherwise. Unlinked
+      // once the repetition (and its post-run validation) is done.
+      const std::string redo_path = config.redo_log_path;
       config.trace = options.trace_cells;
       if (options.telemetry) {
         // In-memory series only (no JSONL, no endpoint). Sample fast enough
@@ -380,8 +402,12 @@ SweepRunOutcome RunSweep(const SweepSpec& spec, const SweepRunOptions& options) 
       if (cell.serve == "wire") {
         RepSample sample;
         std::string wire_error;
-        if (!RunWireRep(spec, cell, std::move(config), rep == spec.reps - 1, &sample,
-                        &wire_error)) {
+        const bool wire_ok = RunWireRep(spec, cell, std::move(config),
+                                        rep == spec.reps - 1, &sample, &wire_error);
+        if (!redo_path.empty()) {
+          ::unlink(redo_path.c_str());
+        }
+        if (!wire_ok) {
           outcome.error = "wire cell [" + CellKey(cell) + "]: " + wire_error;
           return outcome;
         }
@@ -392,6 +418,14 @@ SweepRunOutcome RunSweep(const SweepSpec& spec, const SweepRunOptions& options) 
       BenchmarkRunner runner(config);
       const BenchResult result = runner.Run();
       samples.push_back(CollectRep(spec, runner, result));
+      if (!redo_path.empty()) {
+        ::unlink(redo_path.c_str());
+      }
+      if (runner.redo_writer() != nullptr && !runner.redo_writer()->ok()) {
+        outcome.error = "redo log failure in cell [" + CellKey(cell) +
+                        "]: " + runner.redo_writer()->error();
+        return outcome;
+      }
 
       // Validate the structure after the last repetition of the cell.
       if (rep == spec.reps - 1) {

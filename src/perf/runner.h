@@ -39,6 +39,9 @@ struct SweepCell {
   /// "inproc" (workers sample operations locally) or "wire" (operations
   /// arrive over loopback TCP via sb7-serve's OpServer + ingress queue).
   std::string serve = "inproc";
+  /// Redo-log fsync policy: "off" (no redo log), "group" or "always"
+  /// (mvstm cells run with a scratch redo log and a group-commit sequencer).
+  std::string durability = "off";
 };
 
 /// Canonical identity of a cell, used to match cells across runs in
@@ -46,7 +49,8 @@ struct SweepCell {
 ///   backend=tl2 threads=4 workload=r scenario=- scale=small index=default
 ///   cm=default mix=short
 /// Wire cells append " serve=wire"; the default inproc mode adds nothing,
-/// so pre-serve-axis baselines keep matching their cells.
+/// so pre-serve-axis baselines keep matching their cells. Durability cells
+/// likewise append " durability=group|always" only for non-"off" values.
 std::string CellKey(const SweepCell& cell);
 
 /// Median/min/max of one latency probe across repetitions. A value of -1

@@ -181,6 +181,24 @@ std::string SweepSpec::Validate() {
       return "serves=wire cannot be combined with scenarios";
     }
   }
+  if (durabilities.empty()) {
+    durabilities = {"off"};
+  }
+  for (const std::string& durability : durabilities) {
+    if (durability != "off" && durability != "group" && durability != "always") {
+      return "unknown durability: " + durability + " (expected off, group or always)";
+    }
+    if (durability != "off") {
+      // The redo log is an mvstm subsystem (group-commit sequencer); a
+      // durability cell on any other backend would silently measure nothing.
+      for (const std::string& backend : backends) {
+        if (backend != "mvstm") {
+          return "durabilities=" + durability + " requires mvstm-only backends, got " +
+                 backend;
+        }
+      }
+    }
+  }
   {
     OperationRegistry registry;
     for (const std::string& probe : probes) {
@@ -367,6 +385,28 @@ SweepSpec MakeServe() {
   return spec;
 }
 
+SweepSpec MakeDurability() {
+  // The cost of crash durability (docs/DURABILITY.md): the same 8-thread
+  // mvstm write storm with no redo log, with group commit (one fsync per
+  // commit group) and with a forced fsync per commit. Group commit's whole
+  // point is the middle column sitting near the left one and well above the
+  // right one.
+  SweepSpec spec;
+  spec.name = "durability";
+  spec.title = "Durability sweep: mvstm write storm — no log vs group commit vs "
+               "fsync-per-commit";
+  spec.backends = {"mvstm"};
+  spec.threads = {8};
+  spec.workloads = {"w"};
+  spec.scales = {"tiny"};
+  spec.mixes = {"short"};
+  spec.durabilities = {"off", "group", "always"};
+  spec.seconds = 0.8;
+  spec.warmup = 0.2;
+  spec.reps = 3;
+  return spec;
+}
+
 const std::map<std::string, SweepSpec (*)()>& BuiltinFactories() {
   static const std::map<std::string, SweepSpec (*)()> factories = {
       {"fig3", &MakeFig3},
@@ -379,6 +419,7 @@ const std::map<std::string, SweepSpec (*)()>& BuiltinFactories() {
       {"ablation-mvcc", &MakeAblationMvcc},
       {"scenario-sweep", &MakeScenarioSweep},
       {"serve", &MakeServe},
+      {"durability", &MakeDurability},
       {"smoke", &MakeSmoke},
   };
   return factories;
@@ -390,7 +431,7 @@ const std::vector<std::string>& BuiltinSweepNames() {
   static const std::vector<std::string> names = {
       "fig3",           "fig4",           "fig6",          "table3",  "ablation-cm",
       "ablation-index", "ablation-locks", "ablation-mvcc", "scenario-sweep", "serve",
-      "smoke"};
+      "durability",     "smoke"};
   return names;
 }
 
@@ -514,6 +555,10 @@ SweepParseResult ParseSweepSpec(std::istream& in, std::string_view default_name)
     } else if (key == "serves") {
       if (!SplitList(value, spec.serves)) {
         return fail("serves requires a comma-separated list");
+      }
+    } else if (key == "durabilities") {
+      if (!SplitList(value, spec.durabilities)) {
+        return fail("durabilities requires a comma-separated list");
       }
     } else if (key == "probes") {
       if (!SplitList(value, spec.probes)) {

@@ -76,6 +76,12 @@ struct SweepSpec {
   /// OpServer + ingress queue, driven by the closed-loop load client).
   /// Default {"inproc"}.
   std::vector<std::string> serves;
+  /// Redo-log fsync policy (docs/DURABILITY.md): "off" (no redo log at all —
+  /// the classic cell, comparable against pre-durability baselines), "group"
+  /// (log + one fsync per commit group) or "always" (log + groups of one,
+  /// one fsync per commit). Non-"off" values require mvstm-only backends.
+  /// Default {"off"}.
+  std::vector<std::string> durabilities;
 
   /// Operations whose per-cell max latency is recorded (required when
   /// metric == kLatency, e.g. fig3 probes T1 and T2b).
@@ -128,6 +134,7 @@ struct SweepParseResult {
 ///   cms=default,polka,...     axis: astm contention managers
 ///   mixes=full,short,...      axis: operation-mix presets (see MixPreset)
 ///   serves=inproc,wire        axis: in-process vs over-the-wire execution
+///   durabilities=off,group,always  axis: redo-log fsync policy (mvstm only)
 ///   probes=T1,T2b             latency probe operations
 ///   seconds=<f> warmup=<f> reps=<n> seed=<n> threshold=<f> max_ops=<n>
 ///   cv_threshold=<f>          steady-state CV threshold in (0,1]

@@ -200,6 +200,12 @@ class Stm {
   StmStats& stats() { return stats_; }
   const StmStats& stats() const { return stats_; }
 
+  /// True when committed attempts must carry a replay-context snapshot for
+  /// the redo log (src/mvstm/redo_log.h). Only mvstm with a group-commit
+  /// sequencer attached returns true; StmStrategy::Execute checks it to keep
+  /// the capture off every hot path that does not log.
+  virtual bool wants_replay_capture() const { return false; }
+
  protected:
   /// One implementation object is cached per (thread, Stm instance) and
   /// reused across attempts and operations.

@@ -1,5 +1,6 @@
 #include "src/strategy/strategy.h"
 
+#include "src/mvstm/redo_log.h"
 #include "src/stm/stm_factory.h"
 #include "src/strategy/fine.h"
 
@@ -52,7 +53,18 @@ int64_t StmStrategy::Execute(const Operation& op, DataHolder& dh, Rng& rng) {
   // after the enclosing transaction commits (see Stm::RunAtomically). The
   // operation's read-only flag routes traversals onto the snapshot path of
   // multi-version backends.
-  stm_->RunAtomically([&](Transaction&) { result = op.Run(dh, rng); }, op.read_only());
+  const bool capture = !op.read_only() && stm_->wants_replay_capture();
+  stm_->RunAtomically(
+      [&](Transaction&) {
+        if (capture) {
+          // Snapshot the replay context at the top of *every* attempt: the
+          // committed attempt's snapshot becomes the redo-log member record
+          // (src/mvstm/redo_log.h). Must precede the first rng draw.
+          redo::CaptureAttemptContext(rng);
+        }
+        result = op.Run(dh, rng);
+      },
+      op.read_only());
   return result;
 }
 

@@ -204,5 +204,27 @@ TEST(McStmTest, BoundedExplorationOfRealBackendsStaysOpaque) {
   }
 }
 
+TEST(McStmTest, GroupCommitLitmusesStayOpaqueAndWriteAhead) {
+  // The group-commit sequencer under the explorer: every schedule must be
+  // opaque, every published commit must already be in the redo log, and the
+  // log must frame-check (src/mc/litmus.cc's GroupCommitFailure gate). The
+  // spin/yield coordination makes the schedule space huge; zero failures
+  // within the budget is the gate.
+  ExploreOptions options;
+  options.max_schedules = 60;
+  options.max_steps = 2000;
+  for (const char* name : {"mvstm-group-commit", "mvstm-group-commit-snapshot"}) {
+    const ExploreResult result = Explore(Registered(name), options);
+    EXPECT_EQ(result.failures, 0u)
+        << name << ": "
+        << (result.first_failure
+                ? (result.first_failure->violation
+                       ? result.first_failure->violation.detail
+                       : result.first_failure->check_failure)
+                : std::string("?"));
+    EXPECT_GT(result.schedules, 0u) << name;
+  }
+}
+
 }  // namespace
 }  // namespace sb7::mc

@@ -200,6 +200,9 @@ TEST(SweepSpecTest, RejectsBadSpecs) {
   EXPECT_FALSE(parse("backends=tl2\nserves=bogus").spec.has_value());
   EXPECT_FALSE(parse("backends=tl2\nserves=wire\nscenarios=write-storm").spec.has_value())
       << "wire cells have no phased-scenario analogue";
+  EXPECT_FALSE(parse("backends=mvstm\ndurabilities=bogus").spec.has_value());
+  EXPECT_FALSE(parse("backends=tl2\ndurabilities=group").spec.has_value())
+      << "only mvstm has the group-commit redo log";
   EXPECT_FALSE(parse("backends=tl2\nscenarios=bogus").spec.has_value());
   EXPECT_FALSE(parse("backends=tl2\nprobes=OP99x").spec.has_value());
   EXPECT_FALSE(parse("backends=tl2\nmetric=latency").spec.has_value())
@@ -244,6 +247,7 @@ TEST(SweepSpecTest, BenchSpecsFilesMatchTheBuiltins) {
     EXPECT_EQ(file_spec.cms, builtin->cms);
     EXPECT_EQ(file_spec.mixes, builtin->mixes);
     EXPECT_EQ(file_spec.serves, builtin->serves);
+    EXPECT_EQ(file_spec.durabilities, builtin->durabilities);
     EXPECT_EQ(file_spec.probes, builtin->probes);
     EXPECT_DOUBLE_EQ(file_spec.seconds, builtin->seconds);
     EXPECT_DOUBLE_EQ(file_spec.warmup, builtin->warmup);
@@ -273,6 +277,8 @@ TEST(SweepCellsTest, ExpandIsTheCartesianProductAndKeysArePinned) {
   ASSERT_EQ(spec.Validate(), "");
   EXPECT_EQ(spec.serves, (std::vector<std::string>{"inproc"}))
       << "the serve axis defaults to inproc-only";
+  EXPECT_EQ(spec.durabilities, (std::vector<std::string>{"off"}))
+      << "the durability axis defaults to no-redo-log";
   const std::vector<SweepCell> cells = ExpandCells(spec);
   ASSERT_EQ(cells.size(), 2u * 2u * 2u * 2u);
   // The canonical cell key format is part of the BENCH schema: --compare
@@ -293,6 +299,14 @@ TEST(SweepCellsTest, ExpandIsTheCartesianProductAndKeysArePinned) {
   EXPECT_EQ(CellKey(wire),
             "backend=coarse threads=1 workload=r scenario=- scale=small "
             "index=default cm=default mix=full serve=wire");
+
+  // Durable cells likewise append only for non-"off" policies, so
+  // pre-durability baselines keep matching their cells.
+  SweepCell durable = cells[0];
+  durable.durability = "group";
+  EXPECT_EQ(CellKey(durable),
+            "backend=coarse threads=1 workload=r scenario=- scale=small "
+            "index=default cm=default mix=full durability=group");
 }
 
 // ----------------------------------------------------- BENCH_*.json golden --
@@ -357,7 +371,8 @@ TEST(BenchJsonGoldenTest, SchemaKeySetAndAxesBlockArePinned) {
   ASSERT_NE(axes, nullptr);
   EXPECT_EQ(KeysOf(*axes),
             (std::set<std::string>{"backends", "threads", "workloads", "scenarios",
-                                   "scales", "indexes", "cms", "mixes", "serves"}));
+                                   "scales", "indexes", "cms", "mixes", "serves",
+                                   "durabilities"}));
   ASSERT_EQ(axes->Find("backends")->Items().size(), 2u);
   EXPECT_EQ(axes->Find("backends")->Items()[0].AsString(), "coarse");
   EXPECT_EQ(axes->Find("backends")->Items()[1].AsString(), "tl2");
@@ -379,10 +394,11 @@ TEST(BenchJsonGoldenTest, PerCellStatsKeySetIsPinned) {
   // Schema 3: cells of a telemetry-on sweep (the default) always carry the
   // steady_state block; the hw block appears only where perf_event opened,
   // so the pin tolerates either (CI containers often lack perf_event).
-  // Schema 4 added "serve" and "p999_ms" to every cell.
+  // Schema 4 added "serve" and "p999_ms", schema 5 "durability", to every cell.
   std::set<std::string> base_keys = {
       "key",  "backend", "threads", "workload", "scenario",         "scale",
-      "index", "cm",     "mix",     "serve",    "reps",     "elapsed_median_s",
+      "index", "cm",     "mix",     "serve",    "durability", "reps",
+      "elapsed_median_s",
       "throughput_median", "throughput_min", "throughput_max", "started_median",
       "p999_ms", "probes", "steady_state"};
   const JsonValue& coarse = cells->Items()[0];

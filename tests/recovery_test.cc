@@ -1,0 +1,755 @@
+// Crash-recovery tests for the mvstm redo log (docs/DURABILITY.md):
+//  - codec property tests: every record type round-trips; every truncation
+//    and every single-bit flip of a log is rejected cleanly (torn tail or
+//    corrupt), never crashing the scanner or silently replaying bad data,
+//  - writer fault injection: each CrashPoint freezes the file in exactly the
+//    state a kill -9 at that instant would leave,
+//  - kill -9 harness: forked benchmark children are SIGKILLed mid-write-storm
+//    at random offsets (plus deterministically at every crash point) and the
+//    replayed log's deep fingerprint must equal a survivor's — under the
+//    mvstm backend and under tl2 (the log is logical, so replay backends
+//    must agree),
+//  - live-vs-replay: a run that finishes cleanly fingerprints identically to
+//    the world recovered from its own log,
+//  - acked ⊆ durable: a loopback sb7-serve storm killed mid-run must not
+//    have acked any request whose commit group never reached the log.
+//
+// The fork-based tests come first in this file: gtest runs tests in
+// declaration order, and forking before any test has spawned threads keeps
+// the children trivially safe under TSan.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/check/fingerprint.h"
+#include "src/core/invariants.h"
+#include "src/ebr/ebr.h"
+#include "src/harness/driver.h"
+#include "src/mvstm/redo_log.h"
+#include "src/net/client.h"
+#include "src/net/ingress.h"
+#include "src/net/net.h"
+#include "src/net/server.h"
+#include "src/net/wire.h"
+
+namespace sb7 {
+namespace {
+
+using redo::AppendRecordFrame;
+using redo::CloseRecord;
+using redo::CrashConfig;
+using redo::CrashPoint;
+using redo::DecodeRecord;
+using redo::Durability;
+using redo::EncodeClose;
+using redo::EncodeFileHeader;
+using redo::EncodeGroup;
+using redo::ExtractStatus;
+using redo::FileHeaderRecord;
+using redo::GroupRecord;
+using redo::MemberRecord;
+using redo::RecordType;
+using redo::RecoverFromBytes;
+using redo::RecoverFromLog;
+using redo::RecoverySummary;
+using redo::RedoLogWriter;
+using redo::RedoRecord;
+using redo::ReplayResult;
+using redo::ScanLog;
+using redo::TryExtractRecord;
+
+// Unique per-test scratch path; unlinked by the caller when done.
+std::string ScratchLog(const char* tag) {
+  return "/tmp/sb7_recovery_" + std::to_string(::getpid()) + "_" + tag + ".redo";
+}
+
+MemberRecord MakeMember(uint16_t op, uint64_t tag) {
+  MemberRecord member;
+  member.op_index = op;
+  member.client_tag = tag;
+  member.theta = 0.75;
+  member.rng[0] = 0x0123456789abcdefULL + tag;
+  member.rng[1] = 0xfedcba9876543210ULL ^ tag;
+  member.rng[2] = 42 + tag;
+  member.rng[3] = ~tag;
+  return member;
+}
+
+// A synthetic, structurally legal log: header, two groups, close record.
+// Returns the raw bytes; frame end offsets land in `boundaries` (header end,
+// group-0 end, group-1 end, close end == bytes.size()).
+std::string SyntheticLog(std::vector<size_t>* boundaries) {
+  FileHeaderRecord header;
+  header.seed = 7;
+  header.scale = "tiny";
+  header.backend = "mvstm";
+
+  GroupRecord g0;
+  g0.group_seq = 0;
+  g0.commit_ts = 5;
+  g0.members = {MakeMember(3, 100), MakeMember(17, 101)};
+
+  GroupRecord g1;
+  g1.group_seq = 1;
+  g1.commit_ts = 9;
+  g1.members = {MakeMember(40, 102)};
+
+  CloseRecord close;
+  close.groups = 2;
+  close.members = 3;
+
+  std::string bytes;
+  boundaries->clear();
+  AppendRecordFrame(&bytes, EncodeFileHeader(header));
+  boundaries->push_back(bytes.size());
+  AppendRecordFrame(&bytes, EncodeGroup(g0));
+  boundaries->push_back(bytes.size());
+  AppendRecordFrame(&bytes, EncodeGroup(g1));
+  boundaries->push_back(bytes.size());
+  AppendRecordFrame(&bytes, EncodeClose(close));
+  boundaries->push_back(bytes.size());
+  return bytes;
+}
+
+// ------------------------------------------------------------------ codecs --
+
+TEST(RedoCodecTest, EveryRecordTypeRoundTrips) {
+  FileHeaderRecord header;
+  header.seed = 0xdeadbeefcafef00dULL;
+  header.scale = "medium";
+  header.backend = "mvstm";
+  RedoRecord out;
+  ASSERT_TRUE(DecodeRecord(EncodeFileHeader(header), &out));
+  ASSERT_EQ(out.type, RecordType::kFileHeader);
+  EXPECT_EQ(out.header.magic, redo::kRedoMagic);
+  EXPECT_EQ(out.header.version, redo::kRedoLogFormatVersion);
+  EXPECT_EQ(out.header.seed, header.seed);
+  EXPECT_EQ(out.header.scale, "medium");
+  EXPECT_EQ(out.header.backend, "mvstm");
+
+  GroupRecord group;
+  group.group_seq = 123456789;
+  group.commit_ts = 987654321;
+  for (uint64_t i = 0; i < 5; ++i) group.members.push_back(MakeMember(7 + i, i));
+  ASSERT_TRUE(DecodeRecord(EncodeGroup(group), &out));
+  ASSERT_EQ(out.type, RecordType::kGroup);
+  EXPECT_EQ(out.group.group_seq, group.group_seq);
+  EXPECT_EQ(out.group.commit_ts, group.commit_ts);
+  ASSERT_EQ(out.group.members.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out.group.members[i].op_index, group.members[i].op_index);
+    EXPECT_EQ(out.group.members[i].client_tag, group.members[i].client_tag);
+    EXPECT_DOUBLE_EQ(out.group.members[i].theta, group.members[i].theta);
+    for (int w = 0; w < 4; ++w) {
+      EXPECT_EQ(out.group.members[i].rng[w], group.members[i].rng[w]);
+    }
+  }
+
+  CloseRecord close;
+  close.groups = 11;
+  close.members = 37;
+  ASSERT_TRUE(DecodeRecord(EncodeClose(close), &out));
+  ASSERT_EQ(out.type, RecordType::kClose);
+  EXPECT_EQ(out.close.groups, 11u);
+  EXPECT_EQ(out.close.members, 37u);
+}
+
+TEST(RedoCodecTest, RejectsTruncatedBodiesAndUnknownTypes) {
+  GroupRecord group;
+  group.group_seq = 0;
+  group.commit_ts = 1;
+  group.members = {MakeMember(1, 1), MakeMember(2, 2)};
+  const std::string bodies[] = {
+      EncodeFileHeader(FileHeaderRecord{}),
+      EncodeGroup(group),
+      EncodeClose(CloseRecord{}),
+  };
+  for (const std::string& body : bodies) {
+    for (size_t len = 0; len < body.size(); ++len) {
+      RedoRecord out;
+      EXPECT_FALSE(DecodeRecord(body.substr(0, len), &out)) << "len=" << len;
+    }
+    RedoRecord out;
+    EXPECT_TRUE(DecodeRecord(body, &out));
+  }
+  RedoRecord out;
+  std::string unknown = EncodeClose(CloseRecord{});
+  unknown[0] = static_cast<char>(0x7F);  // no such record type
+  EXPECT_FALSE(DecodeRecord(unknown, &out));
+}
+
+// ------------------------------------------------------------- corruption --
+
+// Truncation at EVERY byte offset: the scan never crashes, never reports a
+// clean close, and recovers exactly the groups whose frames fit entirely in
+// the prefix. Ends that land on a frame boundary are "no close record", not
+// torn.
+TEST(RedoCorruptionTest, TruncationSweepRecoversEveryCompletePrefix) {
+  std::vector<size_t> boundaries;
+  const std::string bytes = SyntheticLog(&boundaries);
+  ASSERT_EQ(boundaries.size(), 4u);
+
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<GroupRecord> groups;
+    RecoverySummary summary;
+    ScanLog(bytes.substr(0, len), &groups, &summary);
+
+    EXPECT_FALSE(summary.clean_close) << "len=" << len;
+    EXPECT_FALSE(summary.corrupt) << "len=" << len;
+    const uint64_t want_groups =
+        (len >= boundaries[1] ? 1u : 0u) + (len >= boundaries[2] ? 1u : 0u);
+    EXPECT_EQ(summary.groups, want_groups) << "len=" << len;
+    EXPECT_EQ(groups.size(), want_groups) << "len=" << len;
+    EXPECT_EQ(summary.header_ok, len >= boundaries[0]) << "len=" << len;
+
+    const bool at_boundary = len == 0 || len == boundaries[0] ||
+                             len == boundaries[1] || len == boundaries[2];
+    EXPECT_EQ(summary.torn_tail, !at_boundary) << "len=" << len;
+  }
+
+  // The untruncated log is the control: clean close, both groups.
+  std::vector<GroupRecord> groups;
+  RecoverySummary summary;
+  ScanLog(bytes, &groups, &summary);
+  EXPECT_TRUE(summary.clean_close);
+  EXPECT_EQ(summary.groups, 2u);
+  EXPECT_EQ(summary.members, 3u);
+  EXPECT_FALSE(summary.torn_tail);
+  EXPECT_FALSE(summary.corrupt);
+}
+
+// Every single-bit flip anywhere in the log is detected as corruption: the
+// frame header CRC covers the length prefix (a flipped length can never
+// re-frame the stream) and the body CRC covers everything else. Groups from
+// frames before the damaged one are still recovered.
+TEST(RedoCorruptionTest, SingleBitFlipSweepAlwaysDetectsCorruption) {
+  std::vector<size_t> boundaries;
+  const std::string bytes = SyntheticLog(&boundaries);
+
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    // Frame index containing byte i; frames end at boundaries[f].
+    size_t frame = 0;
+    while (i >= boundaries[frame]) ++frame;
+    // Complete group frames strictly before the damaged frame (frame 0 is
+    // the header, frames 1 and 2 the groups, frame 3 the close record).
+    const uint64_t want_groups = frame >= 3 ? 2u : (frame >= 2 ? 1u : 0u);
+
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = bytes;
+      damaged[i] = static_cast<char>(damaged[i] ^ (1 << bit));
+      std::vector<GroupRecord> groups;
+      RecoverySummary summary;
+      ScanLog(damaged, &groups, &summary);
+
+      EXPECT_TRUE(summary.corrupt) << "i=" << i << " bit=" << bit;
+      EXPECT_FALSE(summary.clean_close) << "i=" << i << " bit=" << bit;
+      EXPECT_FALSE(summary.torn_tail) << "i=" << i << " bit=" << bit;
+      EXPECT_EQ(summary.groups, want_groups) << "i=" << i << " bit=" << bit;
+      EXPECT_EQ(summary.header_ok, frame >= 1) << "i=" << i << " bit=" << bit;
+    }
+  }
+}
+
+// RecoverFromBytes on garbage: corrupt-from-the-start logs replay nothing
+// but are still a legal crash state (ok, not replayed); an empty log is the
+// killed-before-header case.
+TEST(RedoCorruptionTest, ReplayOfHeaderlessLogsIsTheEmptyWorld) {
+  const ReplayResult empty = RecoverFromBytes("", "mvstm");
+  EXPECT_TRUE(empty.ok);
+  EXPECT_FALSE(empty.replayed);
+
+  std::vector<size_t> boundaries;
+  std::string damaged = SyntheticLog(&boundaries);
+  damaged[2] = static_cast<char>(damaged[2] ^ 0x10);  // wound the header frame
+  const ReplayResult corrupt = RecoverFromBytes(damaged, "mvstm");
+  EXPECT_TRUE(corrupt.summary.corrupt);
+  EXPECT_FALSE(corrupt.replayed);
+  EXPECT_TRUE(corrupt.ok);  // nothing to replay: recovered the empty world
+}
+
+// ----------------------------------------------------- writer crash points --
+
+// Each CrashPoint must freeze the (in-memory) file in exactly the state a
+// kill -9 at that instant leaves: kBeforeAppend drops the record, kTornWrite
+// leaves a half-written frame, kAfterAppend leaves the full frame unsynced.
+// A fired writer is dead: later appends and the close record are dropped.
+TEST(RedoWriterTest, CrashPointsFreezeTheFileInTheirExactCrashState) {
+  GroupRecord groups[3];
+  for (uint64_t i = 0; i < 3; ++i) {
+    groups[i].group_seq = i;
+    groups[i].commit_ts = i + 1;
+    groups[i].members = {MakeMember(static_cast<uint16_t>(i), i)};
+  }
+  std::string prefix;  // header + group 0, the bytes every variant shares
+  AppendRecordFrame(&prefix, EncodeFileHeader([] {
+                      FileHeaderRecord h;
+                      h.seed = 9;
+                      h.scale = "tiny";
+                      h.backend = "mvstm";
+                      return h;
+                    }()));
+  AppendRecordFrame(&prefix, EncodeGroup(groups[0]));
+  std::string frame1;
+  AppendRecordFrame(&frame1, EncodeGroup(groups[1]));
+
+  struct Case {
+    CrashPoint point;
+    size_t want_extra;    // bytes past `prefix` left in the file
+    uint64_t want_groups;  // complete groups a scan recovers
+    bool want_torn;
+  };
+  const Case cases[] = {
+      {CrashPoint::kBeforeAppend, 0, 1, false},
+      {CrashPoint::kTornWrite, frame1.size() / 2, 1, true},
+      {CrashPoint::kAfterAppend, frame1.size(), 2, false},
+  };
+  for (const Case& c : cases) {
+    RedoLogWriter writer("", Durability::kGroup);  // in-memory
+    bool fired = false;
+    CrashConfig crash;
+    crash.point = c.point;
+    crash.at_group = 1;
+    crash.on_fire = [&fired] { fired = true; };
+    writer.SetCrashConfig(crash);
+
+    writer.WriteFileHeader(9, "tiny", "mvstm");
+    writer.AppendGroup(groups[0]);
+    ASSERT_FALSE(writer.dead());
+    writer.AppendGroup(groups[1]);  // fires here
+    EXPECT_TRUE(fired) << redo::CrashPointName(c.point);
+    EXPECT_TRUE(writer.dead());
+    writer.AppendGroup(groups[2]);  // dead writer: dropped
+    writer.Close();                 // dead writer: dropped
+    EXPECT_FALSE(writer.closed());
+
+    const std::string& memory = writer.memory_buffer();
+    ASSERT_GE(memory.size(), prefix.size());
+    EXPECT_EQ(memory.substr(0, prefix.size()), prefix);
+    EXPECT_EQ(memory.size() - prefix.size(), c.want_extra)
+        << redo::CrashPointName(c.point);
+
+    std::vector<GroupRecord> scanned;
+    RecoverySummary summary;
+    ScanLog(memory, &scanned, &summary);
+    EXPECT_EQ(summary.groups, c.want_groups) << redo::CrashPointName(c.point);
+    EXPECT_EQ(summary.torn_tail, c.want_torn) << redo::CrashPointName(c.point);
+    EXPECT_FALSE(summary.corrupt);
+    EXPECT_FALSE(summary.clean_close);
+  }
+}
+
+// ------------------------------------------------------- kill -9 harness --
+//
+// The forked children below construct a BenchmarkRunner (which builds the
+// tiny structure and writes the log header) and then run a write storm until
+// the parent kills them or an injected crash point fires. The parent replays
+// the orphaned log under BOTH mvstm and tl2 and requires identical deep
+// fingerprints and intact invariants.
+
+struct ChildRun {
+  pid_t pid = -1;
+  int ready_fd = -1;  // child writes one byte once the runner is constructed
+};
+
+BenchConfig WriteStormConfig(const std::string& log_path, uint64_t seed) {
+  BenchConfig config;
+  config.strategy = "mvstm";
+  config.scale = "tiny";
+  config.workload = WorkloadType::kWriteDominated;
+  config.threads = 4;
+  config.length_seconds = 30.0;  // the parent always kills us first
+  config.seed = seed;
+  config.redo_log_path = log_path;
+  config.durability = "group";
+  return config;
+}
+
+// Forks a child that runs `config` until killed. Never returns in the child.
+ChildRun ForkBenchmarkChild(const BenchConfig& config) {
+  ChildRun run;
+  int pipe_fds[2];
+  EXPECT_EQ(::pipe(pipe_fds), 0);
+  run.pid = ::fork();
+  if (run.pid == 0) {
+    ::close(pipe_fds[0]);
+    BenchmarkRunner runner(config);  // builds the world, writes the header
+    const char ready = 'r';
+    (void)!::write(pipe_fds[1], &ready, 1);
+    runner.Run();
+    std::_Exit(0);  // only reached if the kill arrives after the run ends
+  }
+  ::close(pipe_fds[1]);
+  run.ready_fd = pipe_fds[0];
+  return run;
+}
+
+void AwaitReady(const ChildRun& run) {
+  char byte = 0;
+  ASSERT_EQ(::read(run.ready_fd, &byte, 1), 1);
+  ::close(run.ready_fd);
+}
+
+// Replays `path` under mvstm and tl2 and checks the cross-backend contract.
+// Returns the summary of the mvstm replay for crash-shape assertions.
+RecoverySummary ReplayBothBackends(const std::string& path) {
+  std::string bytes;
+  std::string error;
+  EXPECT_TRUE(redo::ReadLogFile(path, &bytes, &error)) << error;
+  const ReplayResult mv = RecoverFromBytes(bytes, "mvstm");
+  const ReplayResult tl = RecoverFromBytes(bytes, "tl2");
+  EXPECT_TRUE(mv.ok) << mv.error;
+  EXPECT_TRUE(tl.ok) << tl.error;
+  EXPECT_TRUE(mv.invariant_violations.empty());
+  EXPECT_TRUE(tl.invariant_violations.empty());
+  EXPECT_EQ(mv.replayed, tl.replayed);
+  EXPECT_EQ(mv.fingerprint, tl.fingerprint);
+  EXPECT_EQ(mv.ops_replayed, tl.ops_replayed);
+  EXPECT_FALSE(mv.summary.corrupt) << mv.summary.detail;
+  return mv.summary;
+}
+
+// Injected crashes at every CrashPoint: the child _Exit(137)s itself at
+// group 10 (the CLI default stands in for kill -9), and recovery finds the
+// exact prefix each crash point promises.
+TEST(CrashRecoveryTest, EveryCrashPointRecoversItsExactPrefix)
+{
+  struct Case {
+    CrashPoint point;
+    const char* tag;
+    uint64_t want_groups;
+    bool want_torn;
+  };
+  const Case cases[] = {
+      {CrashPoint::kBeforeAppend, "before", 10, false},
+      {CrashPoint::kTornWrite, "torn", 10, true},
+      {CrashPoint::kAfterAppend, "after", 11, false},
+  };
+  for (const Case& c : cases) {
+    const std::string path = ScratchLog(c.tag);
+    BenchConfig config = WriteStormConfig(path, 4242);
+    config.crash_point = c.point;
+    config.crash_at_group = 10;
+
+    const ChildRun run = ForkBenchmarkChild(config);
+    ASSERT_GT(run.pid, 0);
+    AwaitReady(run);  // consuming the byte also keeps the child SIGPIPE-free
+    int status = 0;
+    ASSERT_EQ(::waitpid(run.pid, &status, 0), run.pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 137) << redo::CrashPointName(c.point);
+
+    const RecoverySummary summary = ReplayBothBackends(path);
+    EXPECT_EQ(summary.groups, c.want_groups) << redo::CrashPointName(c.point);
+    EXPECT_EQ(summary.torn_tail, c.want_torn) << redo::CrashPointName(c.point);
+    EXPECT_FALSE(summary.clean_close);
+    ::unlink(path.c_str());
+  }
+}
+
+// The random-offset kill -9 storm: 21 children, each SIGKILLed at a
+// different (seeded-random) moment of a 4-thread write storm. Whatever
+// prefix of the log survives must replay identically under mvstm and tl2
+// with intact invariants — at any kill offset whatsoever.
+TEST(CrashRecoveryTest, RandomKillOffsetsAlwaysReplayConsistently) {
+  constexpr int kKills = 21;
+  uint64_t rng_state = 0x9e3779b97f4a7c15ULL;  // deterministic offsets
+  uint64_t total_groups = 0;
+  for (int k = 0; k < kKills; ++k) {
+    const std::string path = ScratchLog(("kill" + std::to_string(k)).c_str());
+    const ChildRun run = ForkBenchmarkChild(WriteStormConfig(path, 5000 + k));
+    ASSERT_GT(run.pid, 0);
+    AwaitReady(run);
+
+    rng_state = rng_state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const useconds_t delay_us = (rng_state >> 33) % 80000;  // 0..80ms of storm
+    ::usleep(delay_us);
+    ASSERT_EQ(::kill(run.pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(run.pid, &status, 0), run.pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+    const RecoverySummary summary = ReplayBothBackends(path);
+    EXPECT_FALSE(summary.clean_close);  // nobody closed this log
+    total_groups += summary.groups;
+    ::unlink(path.c_str());
+  }
+  // Offsets are spread over the storm's opening 80ms, so the sweep as a
+  // whole must have caught logs with real commit groups in them.
+  EXPECT_GT(total_groups, 0u);
+}
+
+// ------------------------------------------------- acked ⊆ durable (serve) --
+
+// Raw-frame loopback client helpers (same idiom as net_test.cc).
+bool SendOneFrame(int fd, const std::string& payload) {
+  std::string frame;
+  net::AppendFrame(&frame, payload);
+  return net::WriteAll(fd, frame, /*timeout_ms=*/2000);
+}
+
+bool ReadOneFrame(int fd, std::string* payload) {
+  char prefix[4];
+  if (!net::ReadFull(fd, prefix, sizeof(prefix), /*timeout_ms=*/2000)) return false;
+  uint32_t length = 0;
+  for (int i = 3; i >= 0; --i) {
+    length = (length << 8) | static_cast<uint8_t>(prefix[i]);
+  }
+  if (length > net::kMaxFrameBytes) return false;
+  payload->resize(length);
+  return length == 0 ||
+         net::ReadFull(fd, payload->data(), length, /*timeout_ms=*/2000);
+}
+
+// A serve-mode child killed mid-storm must not have acked (kOk) any request
+// whose commit group never reached the redo log: under --durability=group
+// the worker blocks on the group append before Complete() writes the
+// response, so every acked request id must appear as a member client_tag in
+// the recovered log.
+TEST(CrashRecoveryTest, ServeKilledMidStormNeverAcksUndurableRequests) {
+  const std::string path = ScratchLog("serve");
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    net::IngressQueue ingress(256);
+    BenchConfig config = WriteStormConfig(path, 6001);
+    config.threads = 2;
+    config.ingress = &ingress;
+    net::OpServer* server_ptr = nullptr;
+    config.on_ingress_complete = [&server_ptr](const net::IngressRequest& request,
+                                               net::Status status, int64_t nanos) {
+      if (server_ptr != nullptr) server_ptr->Complete(request, status, nanos);
+    };
+    BenchmarkRunner runner(config);
+    net::OpServer server(net::ServerOptions{}, &ingress,
+                         static_cast<uint16_t>(runner.registry().all().size()));
+    server_ptr = &server;
+    std::string error;
+    if (!server.Start(&error)) std::_Exit(3);
+    const uint32_t port = static_cast<uint32_t>(server.port());
+    (void)!::write(pipe_fds[1], &port, sizeof(port));
+    runner.Run();  // drains ingress until the parent kills us
+    std::_Exit(0);
+  }
+  ASSERT_GT(pid, 0);
+  ::close(pipe_fds[1]);
+  uint32_t port = 0;
+  ASSERT_EQ(::read(pipe_fds[0], &port, sizeof(port)), (ssize_t)sizeof(port));
+  ::close(pipe_fds[0]);
+
+  // SM1 (CreatePart) always writes when it succeeds, so every kOk ack
+  // corresponds to a committed update transaction the log must contain.
+  OperationRegistry registry;
+  uint16_t sm1_index = 0;
+  for (size_t i = 0; i < registry.all().size(); ++i) {
+    if (registry.all()[i]->name() == "SM1") sm1_index = static_cast<uint16_t>(i);
+  }
+
+  net::ConnectResult conn = net::ConnectTcp("127.0.0.1", static_cast<int>(port));
+  ASSERT_TRUE(conn.ok()) << conn.error;
+  net::Hello hello;
+  ASSERT_TRUE(SendOneFrame(conn.fd.get(), net::EncodeHello(hello)));
+  std::string payload;
+  net::HelloAck ack;
+  ASSERT_TRUE(ReadOneFrame(conn.fd.get(), &payload));
+  ASSERT_TRUE(net::DecodeHelloAck(payload, &ack));
+  ASSERT_GT(ack.op_count, sm1_index);
+
+  // Pipeline SM1 requests with a small window; record which ids were acked
+  // kOk. Stop once we have a healthy sample (or the child dies under us).
+  std::set<uint64_t> acked;
+  uint64_t next_id = 1;
+  int in_flight = 0;
+  bool alive = true;
+  while (alive && acked.size() < 150 && next_id < 2000) {
+    while (alive && in_flight < 8) {
+      net::OpRequest request;
+      request.request_id = next_id++;
+      request.op_index = sm1_index;
+      alive = SendOneFrame(conn.fd.get(), net::EncodeRequest(request));
+      if (alive) ++in_flight;
+    }
+    net::OpResponse response;
+    alive = alive && ReadOneFrame(conn.fd.get(), &payload) &&
+            net::DecodeResponse(payload, &response);
+    if (alive) {
+      --in_flight;
+      if (response.status == net::Status::kOk) acked.insert(response.request_id);
+    }
+  }
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+
+  EXPECT_GT(acked.size(), 0u);
+
+  // Every acked id must be durable: present as a member client_tag in the
+  // recovered log. (The converse does not hold — a group can reach the log
+  // an instant before the ack would have gone out.)
+  std::string bytes;
+  std::string error;
+  ASSERT_TRUE(redo::ReadLogFile(path, &bytes, &error)) << error;
+  std::vector<GroupRecord> groups;
+  RecoverySummary summary;
+  ScanLog(bytes, &groups, &summary);
+  EXPECT_FALSE(summary.corrupt) << summary.detail;
+  std::set<uint64_t> durable;
+  for (const GroupRecord& group : groups) {
+    for (const MemberRecord& member : group.members) {
+      durable.insert(member.client_tag);
+    }
+  }
+  for (uint64_t id : acked) {
+    EXPECT_EQ(durable.count(id), 1u) << "acked request " << id << " not in log";
+  }
+  ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------- live vs replay --
+
+uint64_t QuiescedFingerprint(BenchmarkRunner& runner) {
+  EbrDomain::Global().Quiesce();
+  EbrDomain::Global().TryReclaim();
+  return DeepFingerprint(runner.data());
+}
+
+// A clean 4-thread write-storm run: the world recovered from its own log
+// must fingerprint identically to the survivor — and the replay must agree
+// across backends (mvstm vs tl2), since the log is logical.
+TEST(LiveVsReplayTest, WriteStormLogReplaysToTheSurvivorsFingerprint) {
+  const std::string path = ScratchLog("live4");
+  BenchConfig config = WriteStormConfig(path, 77);
+  config.max_operations = 600;  // the op cap ends the run, not the clock
+  BenchmarkRunner runner(config);
+  runner.Run();
+  ASSERT_NE(runner.redo_writer(), nullptr);
+  ASSERT_TRUE(runner.redo_writer()->ok()) << runner.redo_writer()->error();
+  EXPECT_TRUE(runner.redo_writer()->closed());
+  const uint64_t live = QuiescedFingerprint(runner);
+
+  const ReplayResult mv = RecoverFromBytes(
+      [&] {
+        std::string bytes;
+        std::string error;
+        EXPECT_TRUE(redo::ReadLogFile(path, &bytes, &error)) << error;
+        return bytes;
+      }(),
+      "mvstm");
+  ASSERT_TRUE(mv.ok) << mv.error;
+  ASSERT_TRUE(mv.replayed);
+  EXPECT_TRUE(mv.summary.clean_close) << mv.summary.detail;
+  EXPECT_EQ(mv.fingerprint, live);
+  EXPECT_EQ(static_cast<uint64_t>(mv.ops_replayed), mv.summary.members);
+
+  const ReplayResult tl = RecoverFromLog(path, "tl2");
+  ASSERT_TRUE(tl.ok) << tl.error;
+  EXPECT_EQ(tl.fingerprint, live);
+  ::unlink(path.c_str());
+}
+
+// Single-threaded control: with one worker the log is a plain serial trace;
+// replay equality here isolates the codec/replay machinery from the
+// group-commit concurrency the 4-thread variant also exercises.
+TEST(LiveVsReplayTest, SingleThreadRunReplaysExactly) {
+  const std::string path = ScratchLog("live1");
+  BenchConfig config = WriteStormConfig(path, 31337);
+  config.threads = 1;
+  config.max_operations = 300;
+  BenchmarkRunner runner(config);
+  runner.Run();
+  const uint64_t live = QuiescedFingerprint(runner);
+
+  const ReplayResult mv = RecoverFromLog(path, "mvstm");
+  ASSERT_TRUE(mv.ok) << mv.error;
+  ASSERT_TRUE(mv.replayed);
+  EXPECT_TRUE(mv.summary.clean_close);
+  EXPECT_EQ(mv.fingerprint, live);
+  ::unlink(path.c_str());
+}
+
+// --durability=always degrades every group to a single member (one fsync
+// per commit); the writer's own stats must show it.
+TEST(LiveVsReplayTest, AlwaysDurabilityForcesGroupsOfOne) {
+  const std::string path = ScratchLog("always");
+  BenchConfig config = WriteStormConfig(path, 99);
+  config.durability = "always";
+  config.max_operations = 300;
+  BenchmarkRunner runner(config);
+  runner.Run();
+  ASSERT_NE(runner.redo_writer(), nullptr);
+  const redo::WriterStats& stats = runner.redo_writer()->stats();
+  EXPECT_EQ(stats.groups, stats.members);
+  EXPECT_GT(stats.groups, 0u);
+  // Header + every group + close each fsync under kAlways.
+  EXPECT_GE(stats.fsyncs, stats.groups);
+
+  const ReplayResult mv = RecoverFromLog(path, "mvstm");
+  EXPECT_TRUE(mv.ok) << mv.error;
+  EXPECT_TRUE(mv.summary.clean_close);
+  ::unlink(path.c_str());
+}
+
+// A real run's log truncated mid-frame: recovery replays everything up to
+// the last complete group and reports the torn tail; truncated exactly at a
+// frame boundary it reports a missing close record instead — never a false
+// clean close.
+TEST(LiveVsReplayTest, TornTailOfARealLogRecoversThePrefix) {
+  const std::string path = ScratchLog("torntail");
+  BenchConfig config = WriteStormConfig(path, 555);
+  config.max_operations = 200;
+  BenchmarkRunner runner(config);
+  runner.Run();
+
+  std::string bytes;
+  std::string error;
+  ASSERT_TRUE(redo::ReadLogFile(path, &bytes, &error)) << error;
+  ::unlink(path.c_str());
+
+  // Locate every frame boundary with the extractor itself.
+  std::vector<size_t> ends;
+  size_t offset = 0;
+  std::string body;
+  std::string detail;
+  while (TryExtractRecord(bytes, &offset, &body, &detail) == ExtractStatus::kRecord) {
+    ends.push_back(offset);
+  }
+  ASSERT_GE(ends.size(), 3u);  // header + at least one group + close
+  const size_t groups_total = ends.size() - 2;
+
+  // Mid-frame cut inside the LAST group frame (the kill -9 shape).
+  const size_t last_group_start = ends[ends.size() - 3];
+  const size_t cut = last_group_start + (ends[ends.size() - 2] - last_group_start) / 2;
+  const ReplayResult torn = RecoverFromBytes(bytes.substr(0, cut), "mvstm");
+  EXPECT_TRUE(torn.ok) << torn.error;
+  EXPECT_TRUE(torn.replayed);
+  EXPECT_TRUE(torn.summary.torn_tail);
+  EXPECT_FALSE(torn.summary.clean_close);
+  EXPECT_EQ(torn.summary.groups, groups_total - 1);
+
+  // Boundary cut (exactly before the close record): no torn tail, no
+  // corruption — and crucially no clean close either.
+  const ReplayResult boundary =
+      RecoverFromBytes(bytes.substr(0, ends[ends.size() - 2]), "mvstm");
+  EXPECT_TRUE(boundary.ok) << boundary.error;
+  EXPECT_TRUE(boundary.replayed);
+  EXPECT_FALSE(boundary.summary.torn_tail);
+  EXPECT_FALSE(boundary.summary.corrupt);
+  EXPECT_FALSE(boundary.summary.clean_close);
+  EXPECT_EQ(boundary.summary.groups, groups_total);
+}
+
+}  // namespace
+}  // namespace sb7

@@ -17,10 +17,11 @@
 //       (callbacks run inside commit/abort paths; an escaping exception
 //       would unwind through backend code holding stripe locks).
 //   R4  schema drift — the StmStats X-macro field list, kCsvSchemaVersion,
-//       kBenchSchemaVersion and kTelemetrySchemaVersion must match
-//       tools/lint/schema.lock; adding a counter or changing an artifact
-//       layout without bumping the consumer schema (and the lock) is the
-//       exact drift this catches.
+//       kBenchSchemaVersion, kTelemetrySchemaVersion and
+//       kRedoLogFormatVersion must match tools/lint/schema.lock; adding a
+//       counter or changing an artifact layout without bumping the consumer
+//       schema (and the lock) is the exact drift this catches. The redo-log
+//       pin matters doubly: old logs must stay replayable after a crash.
 //       Refresh the lock deliberately with `sb7-lint --update-schema-lock`.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/environment error.
@@ -301,6 +302,7 @@ struct Schema {
   int csv_version = -1;
   int bench_version = -1;
   int telemetry_version = -1;
+  int redo_log_version = -1;
 };
 
 std::optional<int> ParseVersionConstant(const fs::path& path, const std::string& name) {
@@ -368,14 +370,18 @@ std::optional<Schema> CollectSchema(const fs::path& root, std::string* error) {
   const auto bench = ParseVersionConstant(root / "src/perf/report.h", "kBenchSchemaVersion");
   const auto telemetry =
       ParseVersionConstant(root / "src/telemetry/series.h", "kTelemetrySchemaVersion");
-  if (!csv || !bench || !telemetry) {
+  const auto redo =
+      ParseVersionConstant(root / "src/mvstm/redo_log.h", "kRedoLogFormatVersion");
+  if (!csv || !bench || !telemetry || !redo) {
     *error =
-        "cannot parse kCsvSchemaVersion / kBenchSchemaVersion / kTelemetrySchemaVersion";
+        "cannot parse kCsvSchemaVersion / kBenchSchemaVersion / "
+        "kTelemetrySchemaVersion / kRedoLogFormatVersion";
     return std::nullopt;
   }
   schema.csv_version = *csv;
   schema.bench_version = *bench;
   schema.telemetry_version = *telemetry;
+  schema.redo_log_version = *redo;
   return schema;
 }
 
@@ -400,6 +406,8 @@ std::optional<Schema> ReadSchemaLock(const fs::path& path, std::string* error) {
       fields >> lock.bench_version;
     } else if (key == "telemetry_schema_version") {
       fields >> lock.telemetry_version;
+    } else if (key == "redo_log_format_version") {
+      fields >> lock.redo_log_version;
     } else if (key == "stats_fields") {
       std::string name;
       while (fields >> name) {
@@ -423,6 +431,7 @@ bool WriteSchemaLock(const fs::path& path, const Schema& schema) {
   out << "csv_schema_version " << schema.csv_version << "\n";
   out << "bench_schema_version " << schema.bench_version << "\n";
   out << "telemetry_schema_version " << schema.telemetry_version << "\n";
+  out << "redo_log_format_version " << schema.redo_log_version << "\n";
   out << "stats_fields";
   for (const std::string& field : schema.stats_fields) {
     out << " " << field;
@@ -457,6 +466,14 @@ void CompareSchemas(const Schema& lock, const Schema& current,
         {lock_file, 1, "R4",
          "kTelemetrySchemaVersion is " + std::to_string(current.telemetry_version) +
              " but the lock says " + std::to_string(lock.telemetry_version)});
+  }
+  if (lock.redo_log_version != current.redo_log_version) {
+    findings->push_back(
+        {lock_file, 1, "R4",
+         "kRedoLogFormatVersion is " + std::to_string(current.redo_log_version) +
+             " but the lock says " + std::to_string(lock.redo_log_version) +
+             " — old logs must stay replayable; bump deliberately and run "
+             "`sb7-lint --update-schema-lock`"});
   }
 }
 
@@ -575,15 +592,17 @@ int RunSelfTest(const fs::path& root) {
   expect(static_cast<bool>(current), "schema parser: " + error);
   if (current) {
     expect(!current->stats_fields.empty() && current->csv_version > 0 &&
-               current->bench_version > 0 && current->telemetry_version > 0,
+               current->bench_version > 0 && current->telemetry_version > 0 &&
+               current->redo_log_version > 0,
            "schema parser returned implausible values");
     Schema corrupted = *current;
     corrupted.csv_version += 1;
     corrupted.telemetry_version += 1;
+    corrupted.redo_log_version += 1;
     corrupted.stats_fields.push_back("bogus_counter");
     std::vector<Finding> findings;
     CompareSchemas(corrupted, *current, &findings);
-    expect(CountRule(findings, "R4") >= 3, "corrupted lock should trip R4 three times");
+    expect(CountRule(findings, "R4") >= 4, "corrupted lock should trip R4 four times");
   }
   if (failures == 0) {
     std::cout << "sb7-lint selftest: all fixtures behave\n";
